@@ -1,0 +1,48 @@
+// Command sbwi-bench regenerates the paper's evaluation: every figure
+// and table of §5.
+//
+// Usage:
+//
+//	sbwi-bench                 # run everything, print text tables
+//	sbwi-bench -exp fig7b      # one experiment
+//	sbwi-bench -exp fig9 -csv  # CSV output
+//	sbwi-bench -v              # per-simulation progress on stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	sbwi "repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(sbwi.ExperimentNames(), ", ")+", or all")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	verbose := flag.Bool("v", false, "log each simulation to stderr")
+	flag.Parse()
+
+	r := sbwi.NewExperiments()
+	if *verbose {
+		r.Progress = os.Stderr
+	}
+
+	names := sbwi.ExperimentNames()
+	if *exp != "all" {
+		names = []string{*exp}
+	}
+	for _, name := range names {
+		t, err := r.Run(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbwi-bench:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Text())
+		}
+	}
+}

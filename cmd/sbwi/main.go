@@ -1,0 +1,231 @@
+// Command sbwi runs kernels on the simulated SM architectures.
+//
+// Usage:
+//
+//	sbwi list
+//	sbwi run -kernel MatrixMul [-arch SBI+SWI] [-all]
+//	sbwi run -file kernel.asm -grid 4 -block 256 -global 65536 [-param N]...
+//	sbwi disasm -kernel BFS [-tf]
+//	sbwi pipeline-demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	sbwi "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = list()
+	case "run":
+		err = run(os.Args[2:])
+	case "disasm":
+		err = disasm(os.Args[2:])
+	case "pipeline-demo":
+		err = pipelineDemo()
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sbwi:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sbwi <command> [flags]
+
+commands:
+  list           list the built-in benchmark suite
+  run            simulate a built-in kernel or an .asm file
+  disasm         print a kernel's assembled (optionally SYNC-instrumented) code
+  pipeline-demo  render the figure-2 pipeline comparison`)
+	os.Exit(2)
+}
+
+func list() error {
+	fmt.Printf("%-22s %-9s %6s %6s\n", "kernel", "class", "grid", "block")
+	for _, b := range sbwi.Benchmarks() {
+		class := "irregular"
+		if b.Regular {
+			class = "regular"
+		}
+		fmt.Printf("%-22s %-9s %6d %6d\n", b.Name, class, b.Grid, b.Block)
+	}
+	return nil
+}
+
+func parseArch(s string) (sbwi.Arch, error) {
+	for _, a := range sbwi.Architectures() {
+		if strings.EqualFold(a.String(), s) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown architecture %q (have Baseline, SBI, SWI, SBI+SWI, Warp64)", s)
+}
+
+type uintList []uint32
+
+func (p *uintList) String() string { return fmt.Sprint(*p) }
+func (p *uintList) Set(s string) error {
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return err
+	}
+	*p = append(*p, uint32(v))
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	kernel := fs.String("kernel", "", "built-in benchmark name (see `sbwi list`)")
+	file := fs.String("file", "", "assemble and run this .asm file instead")
+	archName := fs.String("arch", "SBI+SWI", "architecture")
+	all := fs.Bool("all", false, "run on every architecture")
+	grid := fs.Int("grid", 4, "grid dimension (with -file)")
+	block := fs.Int("block", 256, "block dimension (with -file)")
+	globalBytes := fs.Int("global", 1<<16, "global memory bytes (with -file)")
+	var params uintList
+	fs.Var(&params, "param", "kernel parameter (repeatable, with -file)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	archs := []sbwi.Arch{}
+	if *all {
+		archs = sbwi.Architectures()
+	} else {
+		a, err := parseArch(*archName)
+		if err != nil {
+			return err
+		}
+		archs = append(archs, a)
+	}
+
+	fmt.Printf("%-10s %10s %8s %10s %10s %8s %8s\n",
+		"arch", "cycles", "IPC", "issues", "secondary", "diverge", "merges")
+	for _, a := range archs {
+		var stats *sbwi.Stats
+		switch {
+		case *kernel != "":
+			b, ok := sbwi.BenchmarkByName(*kernel)
+			if !ok {
+				return fmt.Errorf("unknown kernel %q", *kernel)
+			}
+			l, err := b.NewLaunch(a != sbwi.Baseline)
+			if err != nil {
+				return err
+			}
+			res, err := sbwi.Run(sbwi.Configure(a), l)
+			if err != nil {
+				return err
+			}
+			stats = &res.Stats
+		case *file != "":
+			src, err := os.ReadFile(*file)
+			if err != nil {
+				return err
+			}
+			prog, err := sbwi.Assemble(*file, string(src))
+			if err != nil {
+				return err
+			}
+			p := prog
+			if a != sbwi.Baseline {
+				if p, err = sbwi.ThreadFrontier(prog); err != nil {
+					return err
+				}
+			}
+			l := sbwi.NewLaunch(p, *grid, *block, make([]byte, *globalBytes), params...)
+			res, err := sbwi.Run(sbwi.Configure(a), l)
+			if err != nil {
+				return err
+			}
+			stats = &res.Stats
+		default:
+			return fmt.Errorf("need -kernel or -file")
+		}
+		fmt.Printf("%-10s %10d %8.2f %10d %10d %8d %8d\n",
+			a, stats.Cycles, stats.IPC(), stats.IssueSlots, stats.SecondaryIssues,
+			stats.Divergences, stats.Merges)
+	}
+	return nil
+}
+
+func disasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	kernel := fs.String("kernel", "", "built-in benchmark name")
+	tf := fs.Bool("tf", false, "show the SYNC-instrumented thread-frontier variant")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, ok := sbwi.BenchmarkByName(*kernel)
+	if !ok {
+		return fmt.Errorf("unknown kernel %q", *kernel)
+	}
+	p, err := b.Program(*tf)
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.Disassemble())
+	return nil
+}
+
+// pipelineDemo renders the figure-2 comparison: the same two-warp
+// if/else kernel on classic SIMT, SBI, SWI, and SBI+SWI, as per-cycle
+// lane-occupancy strips ('1' = primary issue, '2' = secondary).
+func pipelineDemo() error {
+	const src = `
+	mov  r1, %tid
+	and  r2, r1, 1
+	isetp.eq r3, r2, 0
+	bra  r3, even
+	imul r4, r1, 3
+	iadd r4, r4, 1
+	bra  join
+even:
+	iadd r4, r1, 100
+	imul r4, r4, 7
+join:
+	shl  r5, r1, 2
+	mov  r6, %p0
+	iadd r6, r6, r5
+	st.g [r6], r4
+	exit
+`
+	prog, err := sbwi.Assemble("fig2", src)
+	if err != nil {
+		return err
+	}
+	tf, err := sbwi.ThreadFrontier(prog)
+	if err != nil {
+		return err
+	}
+	for _, a := range sbwi.Architectures() {
+		p := tf
+		if a == sbwi.Baseline {
+			p = prog
+		}
+		cfg := sbwi.Configure(a)
+		cfg.TraceCap = 256
+		l := sbwi.NewLaunch(p, 1, 128, make([]byte, 128*4), 0)
+		res, err := sbwi.Run(cfg, l)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("--- %s (IPC %.1f, %d cycles) ---\n", a, res.Stats.IPC(), res.Stats.Cycles)
+		fmt.Print(res.Trace.Lanes(cfg.WarpWidth))
+		fmt.Println()
+	}
+	return nil
+}

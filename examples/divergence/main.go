@@ -1,0 +1,81 @@
+// Divergence study: a balanced if/else kernel (the case SBI is built
+// for, paper §3) compared across all five architectures, with the
+// divergence and co-issue statistics that explain the differences.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sbwi "repro"
+)
+
+// Every odd thread takes a multiply-heavy path; every even thread an
+// add-heavy one. The two paths are balanced, so SBI can run them on
+// disjoint halves of the 64-lane row simultaneously.
+const src = `
+	mov  r1, %tid
+	mov  r2, %ctaid
+	mov  r3, %ntid
+	imad r4, r2, r3, r1
+	and  r5, r1, 1
+	isetp.eq r6, r5, 0
+	mov  r7, 0
+	mov  r8, 0
+loop:
+	bra  r6, even
+	imul r9, r4, 3
+	imad r9, r9, 5, r7
+	imul r9, r9, 7
+	iadd r7, r9, 11
+	bra  next
+even:
+	iadd r9, r4, 100
+	iadd r9, r9, r7
+	shl  r10, r9, 1
+	iadd r7, r9, r10
+next:
+	iadd r8, r8, 1
+	isetp.lt r11, r8, 32
+	bra  r11, loop
+	shl  r12, r4, 2
+	mov  r13, %p0
+	iadd r13, r13, r12
+	st.g [r13], r7
+	exit
+`
+
+func main() {
+	prog, err := sbwi.Assemble("balanced", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tf, err := sbwi.ThreadFrontier(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const grid, block = 8, 256
+	fmt.Printf("%-10s %8s %8s %10s %10s %9s\n", "arch", "cycles", "IPC", "divergences", "merges", "SBI pairs")
+	base := int64(0)
+	for _, a := range sbwi.Architectures() {
+		p := tf
+		if a == sbwi.Baseline {
+			p = prog
+		}
+		l := sbwi.NewLaunch(p, grid, block, make([]byte, grid*block*4), 0)
+		res, err := sbwi.Run(sbwi.Configure(a), l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Stats
+		if a == sbwi.Baseline {
+			base = s.Cycles
+		}
+		fmt.Printf("%-10s %8d %8.2f %10d %10d %9d   (%.2fx)\n",
+			a, s.Cycles, s.IPC(), s.Divergences, s.Merges, s.SBIPairs,
+			float64(base)/float64(s.Cycles))
+	}
+	fmt.Println("\nThe balanced branch keeps both warp-splits runnable, so SBI")
+	fmt.Println("co-issues them to disjoint lane subsets and recovers the loss.")
+}

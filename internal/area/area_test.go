@@ -1,0 +1,118 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+// Table 3's bit counts must match the paper's published organization.
+func TestTable3BitCounts(t *testing.T) {
+	g := PaperGeometry()
+	cases := []struct {
+		c    Component
+		d    Design
+		bits int
+		desc string
+	}{
+		{Scoreboard, Baseline, 2 * 24 * 48, "2x 24x 48-bit"},
+		{Scoreboard, SBI, 24 * 144, "24x 144-bit"},
+		{Scoreboard, SWI, 2 * 24 * 48, "2x 24x 48-bit"},
+		{Scoreboard, SBISWI, 24 * 288, "24x 288-bit"},
+		{HCT, Baseline, 2 * 24 * 64, "2x 24x 64-bit"},
+		{HCT, SBI, 24 * 201, "24x 201-bit"},
+		{HCT, SWI, 24 * 104, "24x 104-bit"},
+		{HCT, SBISWI, 24 * 201, "24x 201-bit, banked"},
+		{CCT, Baseline, 144 * 256, "144x 256-bit"},
+		{CCT, SBI, 128 * 104, "128x 104-bit"},
+		{InsnBuffer, Baseline, 48 * 64, "48x 64-bit"},
+		{InsnBuffer, SWI, 24 * 64, "24x 64-bit, dual-ported"},
+		{InsnBuffer, SBISWI, 48 * 64, "48x 64-bit, dual-ported"},
+	}
+	for _, tc := range cases {
+		s := StorageOf(g, tc.c, tc.d)
+		if s.Bits != tc.bits {
+			t.Errorf("%s/%s: bits = %d, want %d", tc.c, tc.d, s.Bits, tc.bits)
+		}
+		if s.Desc != tc.desc {
+			t.Errorf("%s/%s: desc = %q, want %q", tc.c, tc.d, s.Desc, tc.desc)
+		}
+	}
+}
+
+// Table 4 must be reproduced within rounding of the paper's numbers.
+func TestTable4Areas(t *testing.T) {
+	g, k := PaperGeometry(), PaperCoefficients()
+	within := func(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+	cases := []struct {
+		c    Component
+		d    Design
+		want float64
+	}{
+		{RegisterFile, SBI, 570},
+		{Scoreboard, Baseline, 87.6},
+		{Scoreboard, SBI, 65.6},
+		{Scoreboard, SWI, 87.6},
+		{Scoreboard, SBISWI, 131.2},
+		{Scheduler, SWI, 27.4},
+		{HCT, Baseline, 66.8},
+		{HCT, SBI, 88.8},
+		{HCT, SWI, 43.8},
+		{CCT, Baseline, 584.4},
+		{CCT, SBI, 480.8},
+		{InsnBuffer, Baseline, 52.8},
+		{InsnBuffer, SWI, 33.4},
+		{InsnBuffer, SBISWI, 67.4},
+	}
+	for _, tc := range cases {
+		got := AreaOf(g, k, tc.c, tc.d)
+		if !within(got, tc.want, 0.5) {
+			t.Errorf("%s/%s: area = %.1f, want %.1f", tc.c, tc.d, got, tc.want)
+		}
+	}
+
+	totals := map[Design]float64{Baseline: 791.6, SBI: 1258, SWI: 1243, SBISWI: 1365.6}
+	for d, want := range totals {
+		if got := Total(g, k, d); !within(got, want, 3) {
+			t.Errorf("total %s = %.1f, want %.1f", d, got, want)
+		}
+	}
+
+	// Overheads: 3.0%, 2.9%, 3.7% of a 15.6 mm² SM.
+	overheads := map[Design]float64{SBI: 0.030, SWI: 0.029, SBISWI: 0.037}
+	for d, want := range overheads {
+		if _, frac := Overhead(g, k, d); !within(frac, want, 0.001) {
+			t.Errorf("overhead %s = %.4f, want %.3f", d, frac, want)
+		}
+	}
+}
+
+// The model must scale: doubling the CCT doubles its bits and area.
+func TestGeometryScaling(t *testing.T) {
+	g, k := PaperGeometry(), PaperCoefficients()
+	big := g
+	big.CCTEntries *= 2
+	if StorageOf(big, CCT, SBI).Bits != 2*StorageOf(g, CCT, SBI).Bits {
+		t.Error("CCT bits must scale with entries")
+	}
+	if a, b := AreaOf(big, k, CCT, SBI), 2*AreaOf(g, k, CCT, SBI); math.Abs(a-b) > 1e-9 {
+		t.Error("CCT area must scale with entries")
+	}
+	// The baseline stack is unaffected by the CCT parameter.
+	if StorageOf(big, CCT, Baseline).Bits != StorageOf(g, CCT, Baseline).Bits {
+		t.Error("baseline stack must not depend on CCT entries")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, d := range Designs() {
+		if d.String() == "" {
+			t.Error("empty design name")
+		}
+	}
+	for _, c := range Components() {
+		if c.String() == "" {
+			t.Error("empty component name")
+		}
+	}
+}

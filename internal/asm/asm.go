@@ -1,0 +1,516 @@
+// Package asm implements a two-pass assembler for the SIMT mini-ISA
+// defined in internal/isa.
+//
+// Source syntax, one instruction or directive per line:
+//
+//	.kernel name            // kernel name (optional, first line)
+//	.shared 1024            // shared memory bytes per block
+//	label:                  // label (may share a line with an instruction)
+//	  mov   r1, %tid        // specials: %tid %ntid %ctaid %ncta %p0..%p15
+//	  mov   r2, 42          // integer immediate
+//	  mov   r3, 1.5         // float32 immediate (bit pattern)
+//	  iadd  r4, r1, r2      // register or immediate second source
+//	  imad  r5, r1, r2, r4
+//	  isetp.lt r6, r1, r2   // conditions: eq ne lt le gt ge
+//	  selp  r7, r1, r2, r6  // r7 = r6 != 0 ? r1 : r2
+//	  ld.g  r8, [r4+16]     // global load, byte offset
+//	  st.g  [r4], r8        // global store
+//	  ld.s  r9, [r1]        // shared memory
+//	  bra   r6, label       // conditional branch (taken if r6 != 0)
+//	  bra   label           // unconditional branch
+//	  bar                   // block barrier
+//	  exit
+//
+// Comments start with "//", "#" or ";" and run to end of line.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Error describes an assembly failure with source position.
+type Error struct {
+	Name string // kernel or source name
+	Line int    // 1-based line number
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.Name, e.Line, e.Msg)
+}
+
+type assembler struct {
+	name    string
+	prog    *isa.Program
+	fixups  []fixup // label references to resolve in pass 2
+	lineNos []int   // source line of each emitted instruction
+}
+
+type fixup struct {
+	pc    int // instruction whose Target needs the label's PC
+	label string
+	line  int
+}
+
+// Assemble parses src and returns the assembled program. name is used in
+// error messages and as the default kernel name.
+func Assemble(name, src string) (*isa.Program, error) {
+	a := &assembler{
+		name: name,
+		prog: &isa.Program{
+			Name:   name,
+			Labels: make(map[string]int),
+		},
+	}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		if err := a.line(lineNo+1, raw); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range a.fixups {
+		pc, ok := a.prog.Labels[f.label]
+		if !ok {
+			return nil, a.errAt(f.line, "undefined label %q", f.label)
+		}
+		a.prog.Code[f.pc].Target = pc
+	}
+	if err := a.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}
+
+// MustAssemble is Assemble but panics on error. Intended for the built-in
+// kernel suite, whose sources are compile-time constants covered by tests.
+func MustAssemble(name, src string) *isa.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) errAt(line int, format string, args ...any) error {
+	return &Error{Name: a.name, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{"//", "#", ";"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func (a *assembler) line(lineNo int, raw string) error {
+	s := strings.TrimSpace(stripComment(raw))
+	if s == "" {
+		return nil
+	}
+
+	// Directives.
+	if strings.HasPrefix(s, ".") {
+		return a.directive(lineNo, s)
+	}
+
+	// Labels (possibly followed by an instruction on the same line).
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:i])
+		if !isIdent(label) {
+			return a.errAt(lineNo, "invalid label %q", label)
+		}
+		if _, dup := a.prog.Labels[label]; dup {
+			return a.errAt(lineNo, "duplicate label %q", label)
+		}
+		a.prog.Labels[label] = len(a.prog.Code)
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+
+	return a.instruction(lineNo, s)
+}
+
+func (a *assembler) directive(lineNo int, s string) error {
+	fields := strings.Fields(s)
+	switch fields[0] {
+	case ".kernel":
+		if len(fields) != 2 || !isIdent(fields[1]) {
+			return a.errAt(lineNo, ".kernel wants one identifier")
+		}
+		a.prog.Name = fields[1]
+		return nil
+	case ".shared":
+		if len(fields) != 2 {
+			return a.errAt(lineNo, ".shared wants one size argument")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return a.errAt(lineNo, "invalid .shared size %q", fields[1])
+		}
+		a.prog.SharedMem = n
+		return nil
+	default:
+		return a.errAt(lineNo, "unknown directive %q", fields[0])
+	}
+}
+
+// tokenize splits an instruction body into mnemonic and operand tokens.
+// Commas separate operands; spaces inside [...] are tolerated.
+func tokenize(s string) (mnem string, ops []string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, nil
+	}
+	mnem = s[:i]
+	rest := strings.TrimSpace(s[i+1:])
+	if rest == "" {
+		return mnem, nil
+	}
+	depth := 0
+	start := 0
+	for j := 0; j < len(rest); j++ {
+		switch rest[j] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				ops = append(ops, strings.TrimSpace(rest[start:j]))
+				start = j + 1
+			}
+		}
+	}
+	ops = append(ops, strings.TrimSpace(rest[start:]))
+	return mnem, ops
+}
+
+func (a *assembler) instruction(lineNo int, s string) error {
+	mnem, ops := tokenize(s)
+	base := mnem
+	var cmp isa.CmpOp
+	hasCmp := false
+	// Condition suffix on isetp/fsetp: "isetp.lt".
+	if strings.HasPrefix(mnem, "isetp.") || strings.HasPrefix(mnem, "fsetp.") {
+		dot := strings.Index(mnem, ".")
+		base = mnem[:dot]
+		c, ok := parseCmp(mnem[dot+1:])
+		if !ok {
+			return a.errAt(lineNo, "unknown condition %q", mnem[dot+1:])
+		}
+		cmp, hasCmp = c, true
+	}
+	op, ok := isa.OpcodeByName(base)
+	if !ok {
+		return a.errAt(lineNo, "unknown mnemonic %q", mnem)
+	}
+	if (op == isa.OpISetp || op == isa.OpFSetp) && !hasCmp {
+		return a.errAt(lineNo, "%s needs a condition suffix (e.g. %s.lt)", base, base)
+	}
+
+	ins := isa.Instruction{
+		Op:    op,
+		Cmp:   cmp,
+		Dst:   isa.RegNone,
+		SrcA:  isa.RegNone,
+		SrcB:  isa.RegNone,
+		SrcC:  isa.RegNone,
+		Spec:  isa.SpecNone,
+		RecPC: -1,
+		Line:  lineNo,
+	}
+
+	emit := func() {
+		a.prog.Code = append(a.prog.Code, ins)
+		a.lineNos = append(a.lineNos, lineNo)
+	}
+	pc := len(a.prog.Code)
+
+	switch op {
+	case isa.OpNop, isa.OpBar, isa.OpExit:
+		if len(ops) != 0 {
+			return a.errAt(lineNo, "%s takes no operands", base)
+		}
+		emit()
+		return nil
+
+	case isa.OpSync:
+		if len(ops) != 1 {
+			return a.errAt(lineNo, "sync wants a divergence-point label")
+		}
+		a.fixups = append(a.fixups, fixup{pc: pc, label: ops[0], line: lineNo})
+		emit()
+		return nil
+
+	case isa.OpBra:
+		switch len(ops) {
+		case 1:
+			a.fixups = append(a.fixups, fixup{pc: pc, label: ops[0], line: lineNo})
+		case 2:
+			r, err := a.reg(lineNo, ops[0])
+			if err != nil {
+				return err
+			}
+			ins.SrcA = r
+			a.fixups = append(a.fixups, fixup{pc: pc, label: ops[1], line: lineNo})
+		default:
+			return a.errAt(lineNo, "bra wants [pred,] target")
+		}
+		emit()
+		return nil
+
+	case isa.OpLdG, isa.OpLdS:
+		if len(ops) != 2 {
+			return a.errAt(lineNo, "%s wants dst, [addr]", base)
+		}
+		d, err := a.reg(lineNo, ops[0])
+		if err != nil {
+			return err
+		}
+		addr, off, err := a.memOperand(lineNo, ops[1])
+		if err != nil {
+			return err
+		}
+		ins.Dst, ins.SrcA, ins.Imm = d, addr, uint32(off)
+		emit()
+		return nil
+
+	case isa.OpStG, isa.OpStS:
+		if len(ops) != 2 {
+			return a.errAt(lineNo, "%s wants [addr], src", base)
+		}
+		addr, off, err := a.memOperand(lineNo, ops[0])
+		if err != nil {
+			return err
+		}
+		d, err := a.reg(lineNo, ops[1])
+		if err != nil {
+			return err
+		}
+		ins.SrcA, ins.Imm, ins.SrcC = addr, uint32(off), d
+		emit()
+		return nil
+
+	case isa.OpMov:
+		if len(ops) != 2 {
+			return a.errAt(lineNo, "mov wants dst, src")
+		}
+		d, err := a.reg(lineNo, ops[0])
+		if err != nil {
+			return err
+		}
+		ins.Dst = d
+		switch {
+		case strings.HasPrefix(ops[1], "%"):
+			spec, ok := parseSpecial(ops[1])
+			if !ok {
+				return a.errAt(lineNo, "unknown special %q", ops[1])
+			}
+			ins.Spec = spec
+		case looksLikeReg(ops[1]):
+			r, err := a.reg(lineNo, ops[1])
+			if err != nil {
+				return err
+			}
+			ins.SrcA = r
+		default:
+			imm, err := a.imm(lineNo, ops[1])
+			if err != nil {
+				return err
+			}
+			ins.Imm, ins.HasImm = imm, true
+		}
+		emit()
+		return nil
+	}
+
+	// Generic ALU / SFU forms: dst plus NumSrcs sources. An immediate is
+	// allowed in the SrcB slot of 2- and 3-source forms and in the single
+	// source slot of 1-source forms.
+	want := 1 + op.NumSrcs()
+	if len(ops) != want {
+		return a.errAt(lineNo, "%s wants %d operands, got %d", base, want, len(ops))
+	}
+	d, err := a.reg(lineNo, ops[0])
+	if err != nil {
+		return err
+	}
+	ins.Dst = d
+	srcs := ops[1:]
+	switch len(srcs) {
+	case 1:
+		if looksLikeReg(srcs[0]) {
+			r, err := a.reg(lineNo, srcs[0])
+			if err != nil {
+				return err
+			}
+			ins.SrcA = r
+		} else {
+			return a.errAt(lineNo, "%s wants a register source", base)
+		}
+	case 2, 3:
+		r, err := a.reg(lineNo, srcs[0])
+		if err != nil {
+			return err
+		}
+		ins.SrcA = r
+		if looksLikeReg(srcs[1]) {
+			r, err := a.reg(lineNo, srcs[1])
+			if err != nil {
+				return err
+			}
+			ins.SrcB = r
+		} else {
+			imm, err := a.imm(lineNo, srcs[1])
+			if err != nil {
+				return err
+			}
+			ins.Imm, ins.HasImm = imm, true
+		}
+		if len(srcs) == 3 {
+			r, err := a.reg(lineNo, srcs[2])
+			if err != nil {
+				return err
+			}
+			ins.SrcC = r
+		}
+	}
+	emit()
+	return nil
+}
+
+func (a *assembler) reg(line int, s string) (isa.Reg, error) {
+	if !looksLikeReg(s) {
+		return isa.RegNone, a.errAt(line, "expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return isa.RegNone, a.errAt(line, "register %q out of range (r0..r%d)", s, isa.NumRegs-1)
+	}
+	return isa.Reg(n), nil
+}
+
+func (a *assembler) imm(line int, s string) (uint32, error) {
+	// Float literal: contains '.' or trailing 'f', or exponent form.
+	if strings.ContainsAny(s, ".eE") && !strings.HasPrefix(s, "0x") || strings.HasSuffix(s, "f") {
+		t := strings.TrimSuffix(s, "f")
+		f, err := strconv.ParseFloat(t, 32)
+		if err == nil {
+			return math.Float32bits(float32(f)), nil
+		}
+	}
+	// Integer literal, possibly negative or hex.
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, a.errAt(line, "invalid immediate %q", s)
+	}
+	if v < math.MinInt32 || v > math.MaxUint32 {
+		return 0, a.errAt(line, "immediate %q out of 32-bit range", s)
+	}
+	return uint32(int64(v)), nil
+}
+
+// memOperand parses "[rN]", "[rN+off]" or "[rN-off]".
+func (a *assembler) memOperand(line int, s string) (isa.Reg, int32, error) {
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return isa.RegNone, 0, a.errAt(line, "expected memory operand [reg+off], got %q", s)
+	}
+	body := strings.ReplaceAll(s[1:len(s)-1], " ", "")
+	regPart, offPart := body, ""
+	if i := strings.IndexAny(body[1:], "+-"); i >= 0 {
+		regPart, offPart = body[:i+1], body[i+1:]
+	}
+	r, err := a.reg(line, regPart)
+	if err != nil {
+		return isa.RegNone, 0, err
+	}
+	var off int64
+	if offPart != "" {
+		off, err = strconv.ParseInt(offPart, 0, 32)
+		if err != nil {
+			return isa.RegNone, 0, a.errAt(line, "invalid memory offset %q", offPart)
+		}
+	}
+	return r, int32(off), nil
+}
+
+func looksLikeReg(s string) bool {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return false
+	}
+	for _, c := range s[1:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseCmp(s string) (isa.CmpOp, bool) {
+	switch s {
+	case "eq":
+		return isa.CmpEQ, true
+	case "ne":
+		return isa.CmpNE, true
+	case "lt":
+		return isa.CmpLT, true
+	case "le":
+		return isa.CmpLE, true
+	case "gt":
+		return isa.CmpGT, true
+	case "ge":
+		return isa.CmpGE, true
+	}
+	return 0, false
+}
+
+func parseSpecial(s string) (isa.Special, bool) {
+	switch s {
+	case "%tid":
+		return isa.SpecTid, true
+	case "%ntid":
+		return isa.SpecNTid, true
+	case "%ctaid":
+		return isa.SpecCtaid, true
+	case "%ncta":
+		return isa.SpecNCta, true
+	}
+	if strings.HasPrefix(s, "%p") {
+		n, err := strconv.Atoi(s[2:])
+		if err == nil && n >= 0 && n < isa.NumParams {
+			return isa.SpecParam(n), true
+		}
+	}
+	return isa.SpecNone, false
+}

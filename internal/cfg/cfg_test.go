@@ -1,0 +1,365 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// ifElse is a single structured if/then/else:
+//
+//	0: isetp.lt r1, r0, 5
+//	1: bra r1, else        (divergent)
+//	2: mov r2, 1           (then)
+//	3: bra join
+//	4: mov r2, 2           (else)
+//	5: iadd r3, r2, 1      (join)
+//	6: exit
+const ifElse = `
+    isetp.lt r1, r0, 5
+    bra r1, else
+    mov r2, 1
+    bra join
+else:
+    mov r2, 2
+join:
+    iadd r3, r2, 1
+    exit
+`
+
+func mustProg(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestBuildBlocks(t *testing.T) {
+	p := mustProg(t, ifElse)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Blocks: [0,2) cond; [2,4) then; [4,5) else; [5,7) join+exit.
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4: %+v", len(g.Blocks), g.Blocks)
+	}
+	b0 := g.Blocks[0]
+	if b0.Start != 0 || b0.End != 2 || len(b0.Succs) != 2 {
+		t.Errorf("entry block: %+v", b0)
+	}
+	join := g.BlockOf(p.Labels["join"])
+	if len(g.Blocks[join].Preds) != 2 {
+		t.Errorf("join preds = %v", g.Blocks[join].Preds)
+	}
+	if len(g.Blocks[join].Succs) != 0 {
+		t.Errorf("join should be an exit block: %+v", g.Blocks[join])
+	}
+}
+
+func TestDominatorsIfElse(t *testing.T) {
+	p := mustProg(t, ifElse)
+	g, _ := Build(p)
+	idom := g.Dominators()
+	// Entry dominates everything; then/else/join all idom'd by entry.
+	if idom[0] != -1 {
+		t.Errorf("entry idom = %d", idom[0])
+	}
+	for b := 1; b < len(g.Blocks); b++ {
+		if idom[b] != 0 {
+			t.Errorf("block %d idom = %d, want 0", b, idom[b])
+		}
+	}
+}
+
+func TestPostDominatorsIfElse(t *testing.T) {
+	p := mustProg(t, ifElse)
+	g, _ := Build(p)
+	ipdom := g.PostDominators()
+	join := g.BlockOf(p.Labels["join"])
+	// then and else and entry are postdominated by join.
+	for _, b := range []int{0, 1, 2} {
+		if ipdom[b] != join {
+			t.Errorf("block %d ipdom = %d, want %d", b, ipdom[b], join)
+		}
+	}
+	if ipdom[join] != -1 {
+		t.Errorf("join ipdom = %d, want -1 (virtual exit)", ipdom[join])
+	}
+}
+
+func TestAnnotateReconvergence(t *testing.T) {
+	p := mustProg(t, ifElse)
+	if err := AnnotateReconvergence(p); err != nil {
+		t.Fatal(err)
+	}
+	bra := &p.Code[1]
+	if bra.RecPC != p.Labels["join"] {
+		t.Errorf("RecPC = %d, want %d", bra.RecPC, p.Labels["join"])
+	}
+}
+
+func TestAnnotateLoop(t *testing.T) {
+	p := mustProg(t, `
+    mov r0, 0
+loop:
+    iadd r0, r0, 1
+    isetp.lt r1, r0, 10
+    bra r1, loop
+    exit
+`)
+	if err := AnnotateReconvergence(p); err != nil {
+		t.Fatal(err)
+	}
+	bra := &p.Code[3]
+	// The loop-back branch reconverges at the loop exit (pc 4).
+	if bra.RecPC != 4 {
+		t.Errorf("loop RecPC = %d, want 4", bra.RecPC)
+	}
+}
+
+func TestReconvergenceAtExit(t *testing.T) {
+	// Divergent paths that never rejoin except by exiting.
+	p := mustProg(t, `
+    isetp.lt r1, r0, 5
+    bra r1, other
+    exit
+other:
+    exit
+`)
+	if err := AnnotateReconvergence(p); err != nil {
+		t.Fatal(err)
+	}
+	bra := &p.Code[1]
+	if bra.RecPC != len(p.Code) {
+		t.Errorf("RecPC = %d, want exit sentinel %d", bra.RecPC, len(p.Code))
+	}
+}
+
+func TestInsertSyncsIfElse(t *testing.T) {
+	p := mustProg(t, ifElse)
+	tp, err := InsertSyncs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.SyncInserted {
+		t.Error("SyncInserted not set")
+	}
+	if len(tp.Code) != len(p.Code)+1 {
+		t.Fatalf("code len = %d, want %d", len(tp.Code), len(p.Code)+1)
+	}
+	// The sync lands at the old join PC; join label moves one down.
+	joinOld := p.Labels["join"]
+	sync := tp.Code[joinOld]
+	if sync.Op != isa.OpSync {
+		t.Fatalf("instruction at %d is %s, want sync", joinOld, sync.Op)
+	}
+	// PCdiv payload = the divergent branch (old pc 1; unshifted since the
+	// sync is inserted after it).
+	if sync.Target != 1 {
+		t.Errorf("sync PCdiv = %d, want 1", sync.Target)
+	}
+	// The join label points at the sync: control transfers to the
+	// reconvergence point must execute the barrier.
+	if tp.Labels["join"] != joinOld {
+		t.Errorf("join label = %d, want %d", tp.Labels["join"], joinOld)
+	}
+	// Branch targets remapped: "bra join" must point at the sync, not
+	// past it (the sync is the reconvergence point).
+	braJoin := tp.Code[3]
+	if braJoin.Op != isa.OpBra || braJoin.Target != joinOld {
+		t.Errorf("bra join target = %d, want %d (the sync)", braJoin.Target, joinOld)
+	}
+	// The original program is untouched.
+	for _, ins := range p.Code {
+		if ins.Op == isa.OpSync {
+			t.Fatal("input program was modified")
+		}
+	}
+	if err := tp.Validate(); err != nil {
+		t.Errorf("output invalid: %v", err)
+	}
+}
+
+func TestInsertSyncsNested(t *testing.T) {
+	// Two nested if/else blocks like the paper's Figure 4: A { B | C{D|E}F } G.
+	p := mustProg(t, `
+    isetp.lt r1, r0, 16
+    bra r1, c        // A: outer divergence
+    mov r2, 1        // B
+    bra g
+c:  isetp.lt r3, r0, 24
+    bra r3, e        // C: inner divergence
+    mov r2, 2        // D
+    bra f
+e:  mov r2, 3        // E
+f:  iadd r2, r2, 10  // F: inner reconvergence
+g:  iadd r4, r2, 1   // G: outer reconvergence
+    exit
+`)
+	tp, err := InsertSyncs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syncs []isa.Instruction
+	var syncPCs []int
+	for pc, ins := range tp.Code {
+		if ins.Op == isa.OpSync {
+			syncs = append(syncs, ins)
+			syncPCs = append(syncPCs, pc)
+		}
+	}
+	if len(syncs) != 2 {
+		t.Fatalf("want 2 syncs (F and G), got %d", len(syncs))
+	}
+	// First sync guards F: PCdiv = inner branch (bra r3, e).
+	fSync := syncs[0]
+	if tp.Code[fSync.Target].Op != isa.OpBra {
+		t.Errorf("inner sync PCdiv %d is %s, want the inner bra", fSync.Target, tp.Code[fSync.Target].Op)
+	}
+	// Second sync guards G: PCdiv = outer branch.
+	gSync := syncs[1]
+	if tp.Code[gSync.Target].Op != isa.OpBra {
+		t.Errorf("outer sync PCdiv %d is %s, want the outer bra", gSync.Target, tp.Code[gSync.Target].Op)
+	}
+	if !(gSync.Target < fSync.Target) {
+		t.Errorf("outer PCdiv %d should be above inner PCdiv %d", gSync.Target, fSync.Target)
+	}
+	if !(syncPCs[0] < syncPCs[1]) {
+		t.Errorf("sync order: %v", syncPCs)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Errorf("output invalid: %v", err)
+	}
+}
+
+func TestInsertSyncsLoop(t *testing.T) {
+	p := mustProg(t, `
+    mov r0, 0
+loop:
+    iadd r0, r0, 1
+    isetp.lt r1, r0, 10
+    bra r1, loop
+    exit
+`)
+	tp, err := InsertSyncs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loop-back branch reconverges at the exit block; sync inserted there.
+	found := false
+	for _, ins := range tp.Code {
+		if ins.Op == isa.OpSync {
+			found = true
+			if tp.Code[ins.Target].Op != isa.OpBra {
+				t.Errorf("loop sync PCdiv points at %s", tp.Code[ins.Target].Op)
+			}
+		}
+	}
+	if !found {
+		t.Error("no sync inserted for loop exit")
+	}
+	// Back-edge still points at the loop header.
+	var bra *isa.Instruction
+	for pc := range tp.Code {
+		if tp.Code[pc].Op == isa.OpBra && tp.Code[pc].SrcA != isa.RegNone {
+			bra = &tp.Code[pc]
+		}
+	}
+	if bra == nil || tp.Code[bra.Target].Op != isa.OpIAdd {
+		t.Errorf("back edge mis-remapped: %+v", bra)
+	}
+}
+
+func TestValidateFrontierLayout(t *testing.T) {
+	good := mustProg(t, ifElse)
+	if err := AnnotateReconvergence(good); err != nil {
+		t.Fatal(err)
+	}
+	if v := ValidateFrontierLayout(good); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+
+	// Non-frontier layout: the join block is ABOVE the divergent branch
+	// (reached by branching backwards), like TMD1's improper layout.
+	bad := mustProg(t, `
+    bra start
+join:
+    iadd r3, r2, 1
+    exit
+start:
+    isetp.lt r1, r0, 5
+    bra r1, else
+    mov r2, 1
+    bra join
+else:
+    mov r2, 2
+    bra join
+`)
+	if err := AnnotateReconvergence(bad); err != nil {
+		t.Fatal(err)
+	}
+	v := ValidateFrontierLayout(bad)
+	if len(v) == 0 {
+		t.Fatal("expected layout violation for backward reconvergence")
+	}
+	// And sync insertion must skip it rather than fail.
+	tp, err := InsertSyncs(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range tp.Code {
+		if ins.Op == isa.OpSync {
+			t.Error("sync inserted despite layout violation")
+		}
+	}
+}
+
+func TestUnconditionalBranchNoSync(t *testing.T) {
+	p := mustProg(t, `
+    mov r0, 1
+    bra next
+next:
+    exit
+`)
+	tp, err := InsertSyncs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Code) != len(p.Code) {
+		t.Errorf("syncs inserted for non-divergent flow")
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	p := mustProg(t, `
+    isetp.lt r1, r0, 5
+    bra r1, skip
+    mov r2, 1
+skip:
+    iadd r3, r2, 1
+    exit
+`)
+	if err := AnnotateReconvergence(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[1].RecPC != p.Labels["skip"] {
+		t.Errorf("RecPC = %d, want %d", p.Code[1].RecPC, p.Labels["skip"])
+	}
+	tp, err := InsertSyncs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsync := 0
+	for _, ins := range tp.Code {
+		if ins.Op == isa.OpSync {
+			nsync++
+		}
+	}
+	if nsync != 1 {
+		t.Errorf("syncs = %d, want 1", nsync)
+	}
+}

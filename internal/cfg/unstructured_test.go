@@ -1,0 +1,189 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// The TMD-style unstructured CFG: two overlapping conditional regions
+// sharing a tail block reached both from the loop header and from the
+// second region's fall-through. The immediate postdominator of both
+// branches is the loop tail, not the shared tail.
+const unstructuredSrc = `
+	mov  r1, %tid
+	mov  r8, 0
+	mov  r9, 0
+start:
+	and  r11, r1, 7
+	isetp.eq r12, r11, 0
+	bra  r12, t2
+	shl  r13, r1, 3
+	iadd r9, r9, r13
+	and  r14, r9, 48
+	isetp.eq r15, r14, 0
+	bra  r15, t1
+	xor  r9, r9, 23333
+t2:
+	shr  r16, r9, 9
+	xor  r9, r9, r16
+t1:
+	iadd r8, r8, 1
+	isetp.lt r17, r8, 4
+	bra  r17, start
+	exit
+`
+
+func assembleAnnotated(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := asm.Assemble("unstructured", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AnnotateReconvergence(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestUnstructuredReconvergence(t *testing.T) {
+	p := assembleAnnotated(t, unstructuredSrc)
+	t1 := p.Labels["t1"]
+	t2 := p.Labels["t2"]
+	if t1 <= t2 {
+		t.Fatalf("layout: t1=%d t2=%d", t1, t2)
+	}
+	// Both conditional branches must reconverge at t1 (their immediate
+	// postdominator), NOT at the shared tail t2 that only some paths
+	// visit.
+	seen := 0
+	for pc := range p.Code {
+		ins := &p.Code[pc]
+		if !ins.Conditional() || pc == len(p.Code)-2 { // skip loop-back branch
+			continue
+		}
+		if ins.Target == t2 || ins.Target == t1 {
+			seen++
+			if ins.RecPC != t1 {
+				t.Errorf("branch at %d: RecPC = %d, want t1 = %d", pc, ins.RecPC, t1)
+			}
+		}
+	}
+	if seen != 2 {
+		t.Fatalf("found %d region branches, want 2", seen)
+	}
+}
+
+func TestUnstructuredSyncPlacement(t *testing.T) {
+	p := assembleAnnotated(t, unstructuredSrc)
+	sp, err := InsertSyncs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two SYNCs: one guards the shared reconvergence point t1 (PCdiv =
+	// the header branch, the last instruction of t1's immediate
+	// dominator), one guards the loop exit. Every SYNC payload must be a
+	// conditional branch.
+	syncs := 0
+	for pc := range sp.Code {
+		ins := &sp.Code[pc]
+		if ins.Op != isa.OpSync {
+			continue
+		}
+		syncs++
+		div := &sp.Code[ins.Target]
+		if div.Op != isa.OpBra || !div.Conditional() {
+			t.Errorf("sync at %d points at %d (%v), want a conditional branch", pc, ins.Target, div.Op)
+		}
+	}
+	if syncs != 2 {
+		t.Errorf("inserted %d SYNCs, want 2 (region join + loop exit)", syncs)
+	}
+	// Branch targets must be remapped consistently: the program still
+	// validates and the label map still points at valid PCs.
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, pc := range sp.Labels {
+		if pc < 0 || pc >= sp.Len() {
+			t.Errorf("label %s out of range after remap: %d", name, pc)
+		}
+	}
+}
+
+// A branch straight to the exit has no reconvergence block before the
+// program end; RecPC must be the exit sentinel.
+func TestBranchToExitSentinel(t *testing.T) {
+	p := assembleAnnotated(t, `
+	mov  r1, %tid
+	and  r2, r1, 1
+	bra  r2, done
+	iadd r3, r1, 1
+done:
+	exit
+`)
+	// Find the conditional branch.
+	for pc := range p.Code {
+		ins := &p.Code[pc]
+		if ins.Conditional() {
+			if ins.RecPC != p.Labels["done"] {
+				t.Errorf("RecPC = %d, want %d", ins.RecPC, p.Labels["done"])
+			}
+		}
+	}
+}
+
+// Back-to-back loops must each get their own reconvergence points and
+// SYNC markers without interfering.
+func TestSequentialLoops(t *testing.T) {
+	p := assembleAnnotated(t, `
+	mov  r1, %tid
+	and  r2, r1, 3
+	mov  r3, 0
+l1:
+	iadd r3, r3, 1
+	isetp.lt r4, r3, r2
+	bra  r4, l1
+	mov  r5, 0
+l2:
+	iadd r5, r5, 2
+	isetp.lt r6, r5, r2
+	bra  r6, l2
+	exit
+`)
+	sp, err := InsertSyncs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncs := 0
+	for pc := range sp.Code {
+		if sp.Code[pc].Op == isa.OpSync {
+			syncs++
+		}
+	}
+	if syncs != 2 {
+		t.Errorf("two loops need two SYNCs, got %d", syncs)
+	}
+	if v := ValidateFrontierLayout(sp); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+// InsertSyncs must be idempotent in effect: re-running it on an
+// already-instrumented program cannot corrupt targets (it may add
+// redundant SYNCs, but the program must stay valid).
+func TestInsertSyncsTwiceStaysValid(t *testing.T) {
+	p := assembleAnnotated(t, unstructuredSrc)
+	s1, err := InsertSyncs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := InsertSyncs(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,333 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func alu(t *testing.T, op isa.Opcode, a, b uint32) uint32 {
+	t.Helper()
+	var r Regs
+	r[1], r[2] = a, b
+	ins := &isa.Instruction{Op: op, Dst: 0, SrcA: 1, SrcB: 2, SrcC: isa.RegNone}
+	return EvalALU(ins, &r, &Env{})
+}
+
+func TestIntALU(t *testing.T) {
+	if got := alu(t, isa.OpIAdd, 3, 4); got != 7 {
+		t.Errorf("iadd = %d", got)
+	}
+	if got := alu(t, isa.OpISub, 3, 4); int32(got) != -1 {
+		t.Errorf("isub = %d", int32(got))
+	}
+	if got := alu(t, isa.OpIMul, uint32(0xFFFFFFFF), 3); int32(got) != -3 {
+		t.Errorf("imul = %d", int32(got))
+	}
+	if got := alu(t, isa.OpIMin, uint32(0xFFFFFFFF), 1); int32(got) != -1 {
+		t.Errorf("imin signed = %d", int32(got))
+	}
+	if got := alu(t, isa.OpIMax, uint32(0xFFFFFFFF), 1); got != 1 {
+		t.Errorf("imax signed = %d", got)
+	}
+	if got := alu(t, isa.OpIDiv, 7, 2); got != 3 {
+		t.Errorf("idiv = %d", got)
+	}
+	if got := alu(t, isa.OpIDiv, 7, 0); got != 0 {
+		t.Errorf("idiv by zero = %d", got)
+	}
+	minI32 := uint32(0x80000000)
+	if got := alu(t, isa.OpIDiv, minI32, 0xFFFFFFFF); got != minI32 {
+		t.Errorf("idiv overflow = %d", got)
+	}
+	if got := alu(t, isa.OpIMod, 7, 3); got != 1 {
+		t.Errorf("imod = %d", got)
+	}
+	if got := alu(t, isa.OpIMod, 7, 0); got != 0 {
+		t.Errorf("imod by zero = %d", got)
+	}
+	if got := alu(t, isa.OpShl, 1, 35); got != 8 {
+		t.Errorf("shl wraps = %d", got)
+	}
+	if got := alu(t, isa.OpShr, 0x80000000, 31); got != 1 {
+		t.Errorf("shr = %d", got)
+	}
+	if got := alu(t, isa.OpSar, 0x80000000, 31); got != 0xFFFFFFFF {
+		t.Errorf("sar = %#x", got)
+	}
+	if got := alu(t, isa.OpNot, 0, 0); got != 0xFFFFFFFF {
+		t.Errorf("not = %#x", got)
+	}
+}
+
+func TestIMad(t *testing.T) {
+	var r Regs
+	r[1], r[2], r[3] = 3, 4, 5
+	ins := &isa.Instruction{Op: isa.OpIMad, Dst: 0, SrcA: 1, SrcB: 2, SrcC: 3}
+	if got := EvalALU(ins, &r, &Env{}); got != 17 {
+		t.Errorf("imad = %d", got)
+	}
+}
+
+func TestImmediateOperand(t *testing.T) {
+	var r Regs
+	r[1] = 10
+	ins := &isa.Instruction{Op: isa.OpIAdd, Dst: 0, SrcA: 1, SrcB: isa.RegNone, HasImm: true, Imm: 32}
+	if got := EvalALU(ins, &r, &Env{}); got != 42 {
+		t.Errorf("iadd imm = %d", got)
+	}
+}
+
+func fbits(v float32) uint32   { return math.Float32bits(v) }
+func fval(bits uint32) float32 { return math.Float32frombits(bits) }
+
+func TestFloatALU(t *testing.T) {
+	if got := fval(alu(t, isa.OpFAdd, fbits(1.5), fbits(2.25))); got != 3.75 {
+		t.Errorf("fadd = %v", got)
+	}
+	if got := fval(alu(t, isa.OpFMul, fbits(3), fbits(-2))); got != -6 {
+		t.Errorf("fmul = %v", got)
+	}
+	if got := fval(alu(t, isa.OpFMin, fbits(3), fbits(-2))); got != -2 {
+		t.Errorf("fmin = %v", got)
+	}
+	if got := fval(alu(t, isa.OpFMax, fbits(3), fbits(-2))); got != 3 {
+		t.Errorf("fmax = %v", got)
+	}
+	var r Regs
+	r[1] = fbits(2)
+	abs := &isa.Instruction{Op: isa.OpFAbs, Dst: 0, SrcA: 1}
+	r[1] = fbits(-2.5)
+	if got := fval(EvalALU(abs, &r, &Env{})); got != 2.5 {
+		t.Errorf("fabs = %v", got)
+	}
+	neg := &isa.Instruction{Op: isa.OpFNeg, Dst: 0, SrcA: 1}
+	if got := fval(EvalALU(neg, &r, &Env{})); got != 2.5 {
+		t.Errorf("fneg = %v", got)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	var r Regs
+	minus7 := int32(-7)
+	r[1] = uint32(minus7)
+	i2f := &isa.Instruction{Op: isa.OpI2F, Dst: 0, SrcA: 1}
+	if got := fval(EvalALU(i2f, &r, &Env{})); got != -7 {
+		t.Errorf("i2f = %v", got)
+	}
+	r[1] = fbits(-3.7)
+	f2i := &isa.Instruction{Op: isa.OpF2I, Dst: 0, SrcA: 1}
+	if got := int32(EvalALU(f2i, &r, &Env{})); got != -3 {
+		t.Errorf("f2i truncation = %d", got)
+	}
+	r[1] = fbits(float32(math.NaN()))
+	if got := int32(EvalALU(f2i, &r, &Env{})); got != 0 {
+		t.Errorf("f2i NaN = %d", got)
+	}
+	r[1] = fbits(float32(1e30))
+	if got := int32(EvalALU(f2i, &r, &Env{})); got != math.MaxInt32 {
+		t.Errorf("f2i overflow = %d", got)
+	}
+}
+
+func TestSFU(t *testing.T) {
+	var r Regs
+	r[1] = fbits(4)
+	for _, c := range []struct {
+		op   isa.Opcode
+		want float32
+	}{
+		{isa.OpRcp, 0.25},
+		{isa.OpRsq, 0.5},
+		{isa.OpSqrt, 2},
+		{isa.OpEx2, 16},
+		{isa.OpLg2, 2},
+	} {
+		ins := &isa.Instruction{Op: c.op, Dst: 0, SrcA: 1}
+		if got := fval(EvalALU(ins, &r, &Env{})); math.Abs(float64(got-c.want)) > 1e-6 {
+			t.Errorf("%s(4) = %v, want %v", c.op, got, c.want)
+		}
+	}
+	r[1] = fbits(0)
+	sin := &isa.Instruction{Op: isa.OpSin, Dst: 0, SrcA: 1}
+	cos := &isa.Instruction{Op: isa.OpCos, Dst: 0, SrcA: 1}
+	if got := fval(EvalALU(sin, &r, &Env{})); got != 0 {
+		t.Errorf("sin(0) = %v", got)
+	}
+	if got := fval(EvalALU(cos, &r, &Env{})); got != 1 {
+		t.Errorf("cos(0) = %v", got)
+	}
+}
+
+func TestCompares(t *testing.T) {
+	cases := []struct {
+		cmp  isa.CmpOp
+		a, b int32
+		want uint32
+	}{
+		{isa.CmpEQ, 1, 1, 1}, {isa.CmpEQ, 1, 2, 0},
+		{isa.CmpNE, 1, 2, 1}, {isa.CmpNE, 2, 2, 0},
+		{isa.CmpLT, -1, 0, 1}, {isa.CmpLT, 0, -1, 0},
+		{isa.CmpLE, 2, 2, 1}, {isa.CmpGT, 3, 2, 1}, {isa.CmpGE, 2, 3, 0},
+	}
+	for _, c := range cases {
+		var r Regs
+		r[1], r[2] = uint32(c.a), uint32(c.b)
+		ins := &isa.Instruction{Op: isa.OpISetp, Cmp: c.cmp, Dst: 0, SrcA: 1, SrcB: 2}
+		if got := EvalALU(ins, &r, &Env{}); got != c.want {
+			t.Errorf("isetp.%s(%d,%d) = %d, want %d", c.cmp, c.a, c.b, got, c.want)
+		}
+	}
+	var r Regs
+	r[1], r[2] = fbits(1.5), fbits(2.5)
+	flt := &isa.Instruction{Op: isa.OpFSetp, Cmp: isa.CmpLT, Dst: 0, SrcA: 1, SrcB: 2}
+	if got := EvalALU(flt, &r, &Env{}); got != 1 {
+		t.Errorf("fsetp.lt = %d", got)
+	}
+	// NaN compares false for everything except NE.
+	r[2] = fbits(float32(math.NaN()))
+	if got := EvalALU(flt, &r, &Env{}); got != 0 {
+		t.Errorf("fsetp.lt NaN = %d", got)
+	}
+}
+
+func TestSelp(t *testing.T) {
+	var r Regs
+	r[1], r[2], r[3] = 11, 22, 1
+	ins := &isa.Instruction{Op: isa.OpSelp, Dst: 0, SrcA: 1, SrcB: 2, SrcC: 3}
+	if got := EvalALU(ins, &r, &Env{}); got != 11 {
+		t.Errorf("selp true = %d", got)
+	}
+	r[3] = 0
+	if got := EvalALU(ins, &r, &Env{}); got != 22 {
+		t.Errorf("selp false = %d", got)
+	}
+}
+
+func TestMovSpecial(t *testing.T) {
+	env := Env{Tid: 5, NTid: 128, Ctaid: 3, NCta: 16, Params: &[isa.NumParams]uint32{7: 99}}
+	var r Regs
+	cases := []struct {
+		spec isa.Special
+		want uint32
+	}{
+		{isa.SpecTid, 5}, {isa.SpecNTid, 128}, {isa.SpecCtaid, 3}, {isa.SpecNCta, 16},
+		{isa.SpecParam(7), 99}, {isa.SpecParam(0), 0},
+	}
+	for _, c := range cases {
+		ins := &isa.Instruction{Op: isa.OpMov, Dst: 0, SrcA: isa.RegNone, Spec: c.spec}
+		if got := EvalALU(ins, &r, &env); got != c.want {
+			t.Errorf("mov %s = %d, want %d", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestMemoryAccess(t *testing.T) {
+	mem := make([]byte, 64)
+	if err := Store32("global", mem, 8, 0xDEADBEEF, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := Load32("global", mem, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEF {
+		t.Errorf("load = %#x", v)
+	}
+	// Little-endian layout.
+	if mem[8] != 0xEF || mem[11] != 0xDE {
+		t.Errorf("endianness wrong: % x", mem[8:12])
+	}
+	if _, err := Load32("global", mem, 62, 3); err == nil {
+		t.Error("out-of-bounds load accepted")
+	}
+	if _, err := Load32("global", mem, 2, 3); err == nil {
+		t.Error("misaligned load accepted")
+	}
+	if err := Store32("shared", mem, 4096, 0, 7); err == nil {
+		t.Error("out-of-bounds store accepted")
+	}
+	var me *MemError
+	_, err = Load32("global", mem, 999, 5)
+	if e, ok := err.(*MemError); ok {
+		me = e
+	}
+	if me == nil || me.PC != 5 || me.Space != "global" {
+		t.Errorf("MemError = %+v", me)
+	}
+}
+
+func TestEffAddr(t *testing.T) {
+	var r Regs
+	r[1] = 100
+	off := int32(-4)
+	ins := &isa.Instruction{Op: isa.OpLdG, Dst: 0, SrcA: 1, Imm: uint32(off)}
+	if got := EffAddr(ins, &r); got != 96 {
+		t.Errorf("effaddr = %d", got)
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	var r Regs
+	r[1] = 0
+	cond := &isa.Instruction{Op: isa.OpBra, SrcA: 1}
+	if BranchTaken(cond, &r) {
+		t.Error("pred 0 should not be taken")
+	}
+	r[1] = 2
+	if !BranchTaken(cond, &r) {
+		t.Error("pred nonzero should be taken")
+	}
+	uncond := &isa.Instruction{Op: isa.OpBra, SrcA: isa.RegNone}
+	if !BranchTaken(uncond, &r) {
+		t.Error("unconditional should be taken")
+	}
+}
+
+// Property: integer add/sub/xor semantics match Go uint32 arithmetic for
+// arbitrary inputs.
+func TestQuickIntOps(t *testing.T) {
+	f := func(a, b uint32) bool {
+		return alu(t, isa.OpIAdd, a, b) == a+b &&
+			alu(t, isa.OpISub, a, b) == a-b &&
+			alu(t, isa.OpXor, a, b) == a^b &&
+			alu(t, isa.OpAnd, a, b) == a&b &&
+			alu(t, isa.OpOr, a, b) == a|b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: selp always returns one of its two inputs.
+func TestQuickSelp(t *testing.T) {
+	f := func(a, b, c uint32) bool {
+		var r Regs
+		r[1], r[2], r[3] = a, b, c
+		ins := &isa.Instruction{Op: isa.OpSelp, Dst: 0, SrcA: 1, SrcB: 2, SrcC: 3}
+		got := EvalALU(ins, &r, &Env{})
+		return got == a || got == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: memory round-trips for aligned in-bounds addresses.
+func TestQuickMemoryRoundTrip(t *testing.T) {
+	mem := make([]byte, 4096)
+	f := func(addr16 uint16, v uint32) bool {
+		addr := uint32(addr16) % 4092
+		addr &^= 3
+		if err := Store32("global", mem, addr, v, 0); err != nil {
+			return false
+		}
+		got, err := Load32("global", mem, addr, 0)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+package exec
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/isa"
+)
+
+// RefResult summarizes a reference (functional) simulation.
+type RefResult struct {
+	ThreadInstrs  uint64 // dynamic thread-instruction count
+	WarpInstrs    uint64 // dynamic warp-instruction issue count
+	MaxStackDepth int    // deepest reconvergence stack observed
+}
+
+// refStepLimit bounds total warp-instruction steps to catch livelocks in
+// malformed kernels.
+const refStepLimit = 1 << 28
+
+type refEntry struct {
+	pc    int
+	mask  uint64
+	recPC int // pop when pc reaches recPC; -1 = never
+}
+
+type refWarp struct {
+	width     int
+	base      int // first thread index within the block
+	valid     uint64
+	alive     uint64
+	regs      []Regs
+	envs      []Env
+	stack     []refEntry
+	atBarrier bool
+}
+
+func (w *refWarp) done() bool { return len(w.stack) == 0 }
+
+// tosEffective pops exhausted entries and returns the TOS effective mask.
+func (w *refWarp) tosEffective() uint64 {
+	for len(w.stack) > 0 {
+		eff := w.stack[len(w.stack)-1].mask & w.alive
+		if eff != 0 {
+			return eff
+		}
+		w.stack = w.stack[:len(w.stack)-1]
+	}
+	return 0
+}
+
+// RunReference executes the launch functionally with a per-warp PDOM
+// reconvergence stack (the Tesla-style baseline semantics) and returns
+// execution statistics. Global memory in l is updated in place.
+//
+// Conditional branches must carry RecPC annotations
+// (cfg.AnnotateReconvergence); SYNC instructions are treated as no-ops.
+func RunReference(l *Launch, warpWidth int) (*RefResult, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if warpWidth <= 0 || warpWidth > 64 {
+		return nil, fmt.Errorf("exec: warp width %d out of range (1..64)", warpWidth)
+	}
+	res := &RefResult{}
+	var steps uint64
+	for cta := 0; cta < l.GridDim; cta++ {
+		if err := runBlockRef(l, cta, warpWidth, res, &steps); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func runBlockRef(l *Launch, cta, warpWidth int, res *RefResult, steps *uint64) error {
+	prog := l.Prog
+	shared := make([]byte, prog.SharedMem)
+	nWarps := (l.BlockDim + warpWidth - 1) / warpWidth
+
+	warps := make([]*refWarp, nWarps)
+	for wi := 0; wi < nWarps; wi++ {
+		w := &refWarp{
+			width: warpWidth,
+			base:  wi * warpWidth,
+			regs:  make([]Regs, warpWidth),
+			envs:  make([]Env, warpWidth),
+		}
+		for t := 0; t < warpWidth; t++ {
+			tid := w.base + t
+			if tid >= l.BlockDim {
+				break
+			}
+			w.valid |= 1 << uint(t)
+			w.envs[t] = Env{
+				Tid:    uint32(tid),
+				NTid:   uint32(l.BlockDim),
+				Ctaid:  uint32(cta),
+				NCta:   uint32(l.GridDim),
+				Params: &l.Params,
+			}
+		}
+		w.alive = w.valid
+		w.stack = []refEntry{{pc: 0, mask: w.valid, recPC: -1}}
+		warps[wi] = w
+	}
+
+	for {
+		progress := false
+		liveWarps := 0
+		barrierWarps := 0
+		for _, w := range warps {
+			if w.done() {
+				continue
+			}
+			liveWarps++
+			if w.atBarrier {
+				barrierWarps++
+				continue
+			}
+			if err := stepRef(l, prog, shared, w, res); err != nil {
+				return err
+			}
+			*steps++
+			if *steps > refStepLimit {
+				return fmt.Errorf("exec: %s: step limit exceeded (livelock?)", prog.Name)
+			}
+			progress = true
+		}
+		if liveWarps == 0 {
+			return nil
+		}
+		if barrierWarps == liveWarps {
+			// Release the barrier.
+			for _, w := range warps {
+				if !w.done() && w.atBarrier {
+					w.atBarrier = false
+					advance(w)
+				}
+			}
+			progress = true
+		}
+		if !progress {
+			return fmt.Errorf("exec: %s: no progress (deadlock at barrier?)", prog.Name)
+		}
+	}
+}
+
+// advance moves TOS to the next PC, popping at reconvergence.
+func advance(w *refWarp) {
+	tos := &w.stack[len(w.stack)-1]
+	tos.pc++
+	popAtRec(w)
+}
+
+// popAtRec pops every TOS entry sitting at its own reconvergence point,
+// including entries that jumped there (unconditional branch to the join
+// block) and nested regions sharing one reconvergence PC.
+func popAtRec(w *refWarp) {
+	for len(w.stack) > 0 {
+		tos := &w.stack[len(w.stack)-1]
+		if tos.recPC < 0 || tos.pc != tos.recPC {
+			return
+		}
+		w.stack = w.stack[:len(w.stack)-1]
+	}
+}
+
+func stepRef(l *Launch, prog *isa.Program, shared []byte, w *refWarp, res *RefResult) error {
+	eff := w.tosEffective()
+	if eff == 0 {
+		return nil
+	}
+	if len(w.stack) > res.MaxStackDepth {
+		res.MaxStackDepth = len(w.stack)
+	}
+	tos := &w.stack[len(w.stack)-1]
+	pc := tos.pc
+	ins := prog.At(pc)
+	res.ThreadInstrs += uint64(bits.OnesCount64(eff))
+	res.WarpInstrs++
+
+	switch ins.Op {
+	case isa.OpExit:
+		w.alive &^= eff
+		w.tosEffective() // pop exhausted paths
+		return nil
+
+	case isa.OpBar:
+		full := w.alive & w.valid
+		if eff != full {
+			return fmt.Errorf("exec: %s: pc %d: divergent barrier (mask %#x, alive %#x)", prog.Name, pc, eff, full)
+		}
+		w.atBarrier = true
+		return nil
+
+	case isa.OpSync, isa.OpNop:
+		advance(w)
+		return nil
+
+	case isa.OpBra:
+		if ins.SrcA == isa.RegNone {
+			tos.pc = ins.Target
+			popAtRec(w)
+			return nil
+		}
+		var taken uint64
+		for t := 0; t < w.width; t++ {
+			if eff&(1<<uint(t)) == 0 {
+				continue
+			}
+			if BranchTaken(ins, &w.regs[t]) {
+				taken |= 1 << uint(t)
+			}
+		}
+		ntaken := eff &^ taken
+		switch {
+		case ntaken == 0:
+			tos.pc = ins.Target
+			popAtRec(w)
+		case taken == 0:
+			advance(w)
+		default:
+			if ins.RecPC < 0 {
+				return fmt.Errorf("exec: %s: pc %d: divergent branch without RecPC annotation", prog.Name, pc)
+			}
+			rec := ins.RecPC
+			// TOS becomes the reconvergence entry; push the two paths.
+			// A path that starts at the reconvergence point is not pushed:
+			// its threads simply wait in the reconvergence entry (pushing
+			// it would execute the join block twice).
+			tos.pc = rec
+			if pc+1 != rec {
+				w.stack = append(w.stack, refEntry{pc: pc + 1, mask: ntaken, recPC: rec})
+			}
+			if ins.Target != rec {
+				w.stack = append(w.stack, refEntry{pc: ins.Target, mask: taken, recPC: rec})
+			}
+			popAtRec(w)
+		}
+		return nil
+
+	case isa.OpLdG, isa.OpLdS, isa.OpStG, isa.OpStS:
+		mem := l.Global
+		space := "global"
+		if !ins.Op.IsGlobal() {
+			mem = shared
+			space = "shared"
+		}
+		for t := 0; t < w.width; t++ {
+			if eff&(1<<uint(t)) == 0 {
+				continue
+			}
+			r := &w.regs[t]
+			addr := EffAddr(ins, r)
+			if ins.Op.IsLoad() {
+				v, err := Load32(space, mem, addr, pc)
+				if err != nil {
+					return err
+				}
+				r[ins.Dst] = v
+			} else {
+				if err := Store32(space, mem, addr, r[ins.SrcC], pc); err != nil {
+					return err
+				}
+			}
+		}
+		advance(w)
+		return nil
+
+	default:
+		for t := 0; t < w.width; t++ {
+			if eff&(1<<uint(t)) == 0 {
+				continue
+			}
+			r := &w.regs[t]
+			r[ins.Dst] = EvalALU(ins, r, &w.envs[t])
+		}
+		advance(w)
+		return nil
+	}
+}
+
+// CloneGlobal returns a copy of the launch with a fresh copy of global
+// memory, so the same initial image can be run on multiple simulators.
+func (l *Launch) CloneGlobal() *Launch {
+	c := *l
+	c.Global = make([]byte, len(l.Global))
+	copy(c.Global, l.Global)
+	return &c
+}

@@ -1,0 +1,354 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+// buildLaunch assembles src, annotates reconvergence points, and wraps it
+// in a launch with the given shape and global memory size.
+func buildLaunch(t *testing.T, src string, grid, block, globalBytes int, params ...uint32) *Launch {
+	t.Helper()
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if err := cfg.AnnotateReconvergence(p); err != nil {
+		t.Fatalf("annotate: %v", err)
+	}
+	l := &Launch{Prog: p, GridDim: grid, BlockDim: block, Global: make([]byte, globalBytes)}
+	for i, v := range params {
+		l.Params[i] = v
+	}
+	return l
+}
+
+func word(t *testing.T, mem []byte, addr int) uint32 {
+	t.Helper()
+	v, err := Load32("global", mem, uint32(addr), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestRefStraightLine(t *testing.T) {
+	// out[tid] = tid*2 + ctaid, over 2 blocks of 8 threads.
+	l := buildLaunch(t, `
+    mov  r0, %tid
+    mov  r1, %ctaid
+    mov  r2, %ntid
+    imad r3, r1, r2, r0    // global thread id
+    imul r4, r0, 2
+    iadd r4, r4, r1
+    shl  r5, r3, 2
+    st.g [r5], r4
+    exit
+`, 2, 8, 2*8*4)
+	res, err := RunReference(l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cta := 0; cta < 2; cta++ {
+		for tid := 0; tid < 8; tid++ {
+			want := uint32(tid*2 + cta)
+			got := word(t, l.Global, (cta*8+tid)*4)
+			if got != want {
+				t.Errorf("out[%d,%d] = %d, want %d", cta, tid, got, want)
+			}
+		}
+	}
+	// 9 instructions x 16 threads.
+	if res.ThreadInstrs != 9*16 {
+		t.Errorf("thread instrs = %d, want %d", res.ThreadInstrs, 9*16)
+	}
+}
+
+func TestRefIfElseDivergence(t *testing.T) {
+	// out[tid] = tid < 4 ? 100 : 200 for one warp of 8.
+	l := buildLaunch(t, `
+    mov r0, %tid
+    isetp.lt r1, r0, 4
+    bra r1, then
+    mov r2, 200
+    bra join
+then:
+    mov r2, 100
+join:
+    shl r3, r0, 2
+    st.g [r3], r2
+    exit
+`, 1, 8, 8*4)
+	if _, err := RunReference(l, 8); err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 8; tid++ {
+		want := uint32(200)
+		if tid < 4 {
+			want = 100
+		}
+		if got := word(t, l.Global, tid*4); got != want {
+			t.Errorf("out[%d] = %d, want %d", tid, got, want)
+		}
+	}
+}
+
+func TestRefDataDependentLoop(t *testing.T) {
+	// out[tid] = sum(1..tid), divergent trip counts inside one warp.
+	l := buildLaunch(t, `
+    mov r0, %tid
+    mov r1, 0      // acc
+    mov r2, 0      // i
+loop:
+    isetp.ge r3, r2, r0
+    bra r3, done
+    iadd r2, r2, 1
+    iadd r1, r1, r2
+    bra loop
+done:
+    shl r4, r0, 2
+    st.g [r4], r1
+    exit
+`, 1, 16, 16*4)
+	if _, err := RunReference(l, 16); err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 16; tid++ {
+		want := uint32(tid * (tid + 1) / 2)
+		if got := word(t, l.Global, tid*4); got != want {
+			t.Errorf("out[%d] = %d, want %d", tid, got, want)
+		}
+	}
+}
+
+func TestRefNestedDivergence(t *testing.T) {
+	// Nested if inside if: classify tid into 4 buckets.
+	l := buildLaunch(t, `
+    mov r0, %tid
+    isetp.lt r1, r0, 8
+    bra r1, low
+    isetp.lt r2, r0, 12
+    bra r2, midhigh
+    mov r3, 4
+    bra join
+midhigh:
+    mov r3, 3
+    bra join
+low:
+    isetp.lt r2, r0, 4
+    bra r2, verylow
+    mov r3, 2
+    bra join
+verylow:
+    mov r3, 1
+join:
+    shl r4, r0, 2
+    st.g [r4], r3
+    exit
+`, 1, 16, 16*4)
+	if _, err := RunReference(l, 16); err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 16; tid++ {
+		var want uint32
+		switch {
+		case tid < 4:
+			want = 1
+		case tid < 8:
+			want = 2
+		case tid < 12:
+			want = 3
+		default:
+			want = 4
+		}
+		if got := word(t, l.Global, tid*4); got != want {
+			t.Errorf("out[%d] = %d, want %d", tid, got, want)
+		}
+	}
+}
+
+func TestRefEarlyExitDivergence(t *testing.T) {
+	// Half the warp exits early; the rest writes.
+	l := buildLaunch(t, `
+    mov r0, %tid
+    isetp.lt r1, r0, 4
+    bra r1, work
+    exit
+work:
+    shl r2, r0, 2
+    st.g [r2], r0
+    exit
+`, 1, 8, 8*4)
+	if _, err := RunReference(l, 8); err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 8; tid++ {
+		want := uint32(0)
+		if tid < 4 {
+			want = uint32(tid)
+		}
+		if got := word(t, l.Global, tid*4); got != want {
+			t.Errorf("out[%d] = %d, want %d", tid, got, want)
+		}
+	}
+}
+
+func TestRefBarrierAndShared(t *testing.T) {
+	// Reverse an array within a block through shared memory: thread t
+	// stores tid into shared[t], barrier, then reads shared[ntid-1-t].
+	l := buildLaunch(t, `
+.shared 64
+    mov r0, %tid
+    mov r1, %ntid
+    shl r2, r0, 2
+    st.s [r2], r0
+    bar
+    isub r3, r1, r0
+    isub r3, r3, 1
+    shl r3, r3, 2
+    ld.s r4, [r3]
+    st.g [r2], r4
+    exit
+`, 1, 16, 16*4)
+	res, err := RunReference(l, 4) // 4 warps must interleave at the barrier
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 16; tid++ {
+		want := uint32(15 - tid)
+		if got := word(t, l.Global, tid*4); got != want {
+			t.Errorf("out[%d] = %d, want %d", tid, got, want)
+		}
+	}
+	if res.MaxStackDepth < 1 {
+		t.Errorf("stack depth = %d", res.MaxStackDepth)
+	}
+}
+
+func TestRefGlobalLoads(t *testing.T) {
+	// out[tid] = in[tid] + 1 with in at param0, out at param1.
+	l := buildLaunch(t, `
+    mov r0, %tid
+    shl r1, r0, 2
+    mov r2, %p0
+    iadd r2, r2, r1
+    ld.g r3, [r2]
+    iadd r3, r3, 1
+    mov r4, %p1
+    iadd r4, r4, r1
+    st.g [r4], r3
+    exit
+`, 1, 8, 8*4*2, 0, 32)
+	for i := 0; i < 8; i++ {
+		if err := Store32("global", l.Global, uint32(i*4), uint32(i*10), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := RunReference(l, 8); err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 8; tid++ {
+		if got := word(t, l.Global, 32+tid*4); got != uint32(tid*10+1) {
+			t.Errorf("out[%d] = %d", tid, got)
+		}
+	}
+}
+
+func TestRefDivergentBarrierError(t *testing.T) {
+	l := buildLaunch(t, `
+    mov r0, %tid
+    isetp.lt r1, r0, 2
+    bra r1, skip
+    bar
+skip:
+    exit
+`, 1, 4, 16)
+	if _, err := RunReference(l, 4); err == nil {
+		t.Fatal("divergent barrier not detected")
+	}
+}
+
+func TestRefMemFault(t *testing.T) {
+	l := buildLaunch(t, `
+    mov r0, 4096
+    ld.g r1, [r0]
+    exit
+`, 1, 1, 64)
+	if _, err := RunReference(l, 1); err == nil {
+		t.Fatal("OOB access not detected")
+	}
+}
+
+func TestRefSyncIsNop(t *testing.T) {
+	// The thread-frontier program (with SYNCs) must produce the same
+	// result under the stack reference model.
+	src := `
+    mov r0, %tid
+    isetp.lt r1, r0, 4
+    bra r1, then
+    mov r2, 200
+    bra join
+then:
+    mov r2, 100
+join:
+    shl r3, r0, 2
+    st.g [r3], r2
+    exit
+`
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := cfg.InsertSyncs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasSync := false
+	for _, ins := range tp.Code {
+		if ins.Op == isa.OpSync {
+			hasSync = true
+		}
+	}
+	if !hasSync {
+		t.Fatal("no sync in TF program")
+	}
+	l := &Launch{Prog: tp, GridDim: 1, BlockDim: 8, Global: make([]byte, 8*4)}
+	if _, err := RunReference(l, 8); err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 8; tid++ {
+		want := uint32(200)
+		if tid < 4 {
+			want = 100
+		}
+		if got := word(t, l.Global, tid*4); got != want {
+			t.Errorf("out[%d] = %d, want %d", tid, got, want)
+		}
+	}
+}
+
+func TestRefValidation(t *testing.T) {
+	if _, err := RunReference(&Launch{}, 32); err == nil {
+		t.Error("nil program accepted")
+	}
+	l := buildLaunch(t, "exit", 1, 1, 0)
+	if _, err := RunReference(l, 0); err == nil {
+		t.Error("warp width 0 accepted")
+	}
+	if _, err := RunReference(l, 128); err == nil {
+		t.Error("warp width 128 accepted")
+	}
+}
+
+func TestCloneGlobal(t *testing.T) {
+	l := buildLaunch(t, "exit", 1, 1, 8)
+	l.Global[3] = 7
+	c := l.CloneGlobal()
+	c.Global[3] = 9
+	if l.Global[3] != 7 {
+		t.Error("clone aliases original memory")
+	}
+}

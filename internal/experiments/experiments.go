@@ -1,0 +1,197 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5): the per-benchmark IPC comparisons of
+// figure 7, the reconvergence-constraint study of figure 8(a), the
+// lane-shuffling study of figure 8(b), the lookup-associativity study
+// of figure 9, and tables 2-4. Each experiment returns a Table that
+// renders as aligned text or CSV.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/kernels"
+	"repro/internal/sm"
+)
+
+// Runner executes benchmark simulations with memoization (several
+// figures share configurations) and validates every simulation's
+// memory image against the benchmark's reference oracle.
+type Runner struct {
+	cache    map[runKey]*sm.Stats
+	expected map[string][]byte
+
+	// Progress, when non-nil, receives one line per simulation.
+	Progress io.Writer
+}
+
+type runKey struct {
+	bench       string
+	arch        sm.Arch
+	constraints bool
+	shuffle     string
+	assoc       int
+	memSplit    bool
+	depMode     uint8
+}
+
+// NewRunner creates an empty runner.
+func NewRunner() *Runner {
+	return &Runner{
+		cache:    make(map[runKey]*sm.Stats),
+		expected: make(map[string][]byte),
+	}
+}
+
+// Stats simulates benchmark b under cfg (memoized) and returns the run
+// statistics. The simulation's final memory is checked against the
+// benchmark's Go reference; a mismatch is an error, never a silent
+// wrong figure.
+func (r *Runner) Stats(b *kernels.Benchmark, cfg sm.Config) (*sm.Stats, error) {
+	key := runKey{
+		bench:       b.Name,
+		arch:        cfg.Arch,
+		constraints: cfg.Constraints,
+		shuffle:     cfg.Shuffle.String(),
+		assoc:       cfg.Assoc,
+		memSplit:    cfg.SplitOnMemDivergence,
+		depMode:     uint8(cfg.DepMode),
+	}
+	if s, ok := r.cache[key]; ok {
+		return s, nil
+	}
+	l, err := b.NewLaunch(cfg.Arch != sm.ArchBaseline)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sm.Run(cfg, l)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", b.Name, cfg.Arch, err)
+	}
+	want, ok := r.expected[b.Name]
+	if !ok {
+		want = b.Expected()
+		r.expected[b.Name] = want
+	}
+	if !bytes.Equal(l.Global, want) {
+		return nil, fmt.Errorf("experiments: %s on %s: simulation diverged from reference", b.Name, cfg.Arch)
+	}
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "  %-22s %-10s IPC %6.2f  (%d cycles)\n",
+			b.Name, cfg.Arch, res.Stats.IPC(), res.Stats.Cycles)
+	}
+	s := res.Stats
+	r.cache[key] = &s
+	return &s, nil
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title string
+	Note  string
+	Cols  []string // first column is the row label
+	Rows  []Row
+}
+
+// Row is one table line.
+type Row struct {
+	Name  string
+	Cells []Cell
+}
+
+// Cell is one value; Str (when set) overrides numeric formatting.
+type Cell struct {
+	Val   float64
+	Str   string
+	Empty bool
+}
+
+func num(v float64) Cell { return Cell{Val: v} }
+func str(s string) Cell  { return Cell{Str: s} }
+func empty() Cell        { return Cell{Empty: true} }
+
+func (c Cell) text() string {
+	switch {
+	case c.Empty:
+		return "-"
+	case c.Str != "":
+		return c.Str
+	default:
+		return fmt.Sprintf("%.2f", c.Val)
+	}
+}
+
+// Text renders the table with aligned columns.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Cols)+1)
+	widths[0] = 22
+	for i, c := range t.Cols {
+		widths[i+1] = max(10, len(c)+1)
+	}
+	fmt.Fprintf(&b, "%-*s", widths[0], "")
+	for i, c := range t.Cols {
+		fmt.Fprintf(&b, "%*s", widths[i+1], c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", widths[0], r.Name)
+		for i, c := range r.Cells {
+			fmt.Fprintf(&b, "%*s", widths[i+1], c.text())
+		}
+		b.WriteByte('\n')
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("name")
+	for _, c := range t.Cols {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(r.Name)
+		for _, c := range r.Cells {
+			b.WriteByte(',')
+			switch {
+			case c.Empty:
+			case c.Str != "":
+				b.WriteString(c.Str)
+			default:
+				fmt.Fprintf(&b, "%g", c.Val)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// gmean computes the geometric mean.
+func gmean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	p := 1.0
+	for _, v := range vals {
+		p *= v
+	}
+	return math.Pow(p, 1/float64(len(vals)))
+}
+
+// excludeFromMeans reports benchmarks the paper leaves out of summary
+// means (§5.1: the TMD pair reflects thread-frontier reconvergence
+// rather than SBI/SWI).
+func excludeFromMeans(name string) bool {
+	return name == "TMD1" || name == "TMD2"
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/sm"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title: "demo",
+		Cols:  []string{"a", "b"},
+		Rows: []Row{
+			{Name: "x", Cells: []Cell{num(1.5), str("hi")}},
+			{Name: "y", Cells: []Cell{empty(), num(2)}},
+		},
+		Note: "n",
+	}
+	text := tb.Text()
+	for _, want := range []string{"demo", "x", "1.50", "hi", "-", "note: n"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text missing %q in:\n%s", want, text)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "name,a,b") || !strings.Contains(csv, "x,1.5,hi") {
+		t.Errorf("CSV wrong:\n%s", csv)
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	t2 := Table2()
+	if len(t2.Rows) < 8 || len(t2.Cols) != 5 {
+		t.Errorf("table2 shape: %d rows x %d cols", len(t2.Rows), len(t2.Cols))
+	}
+	t3 := Table3()
+	if !strings.Contains(t3.Text(), "24x 201-bit") {
+		t.Error("table3 missing HCT organization")
+	}
+	t4 := Table4()
+	text := t4.Text()
+	for _, want := range []string{"Total", "Overhead", "3.7%"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table4 missing %q", want)
+		}
+	}
+}
+
+func TestRunnerCachesAndValidates(t *testing.T) {
+	r := NewRunner()
+	b, _ := kernels.ByName("TMD2")
+	cfg := sm.Configure(sm.ArchSBI)
+	s1, err := r.Stats(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.Stats(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("second call should hit the cache")
+	}
+	if len(r.cache) != 1 {
+		t.Errorf("cache size = %d", len(r.cache))
+	}
+}
+
+func TestRunnerProgress(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner()
+	r.Progress = &buf
+	b, _ := kernels.ByName("Histogram")
+	if _, err := r.Stats(b, sm.Configure(sm.ArchWarp64)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Histogram") {
+		t.Error("progress line missing")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	r := NewRunner()
+	if _, err := r.Run("nope"); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestGmean(t *testing.T) {
+	if g := gmean([]float64{2, 8}); g != 4 {
+		t.Errorf("gmean = %f", g)
+	}
+	if g := gmean(nil); g != 0 {
+		t.Errorf("gmean(nil) = %f", g)
+	}
+}
+
+// The full figure pipeline on the cheapest figure: 8(b) shares most
+// configurations via the cache, so run figure 9 on a single benchmark
+// suite to keep the test fast; here we check figure 8(a) end to end on
+// the real suite since SBI runs are comparatively cheap.
+func TestFig8aEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	r := NewRunner()
+	tab, err := r.Fig8a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(kernels.Irregular())+1 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Name != "Gmean" {
+		t.Errorf("last row = %s", last.Name)
+	}
+	// Constraint speedups should sit near 1.0 (paper: ~0.1% effect).
+	g := last.Cells[0].Val
+	if g < 0.8 || g > 1.25 {
+		t.Errorf("SBI constraint speedup gmean = %.3f, expected near 1", g)
+	}
+}

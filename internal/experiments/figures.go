@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"repro/internal/kernels"
+	"repro/internal/sched"
+	"repro/internal/sm"
+)
+
+// fig7 runs the five architectures over a suite and reports IPC per
+// benchmark plus the geometric mean (TMD excluded, §5.1).
+func (r *Runner) fig7(title string, suite []*kernels.Benchmark) (*Table, error) {
+	archs := sm.Architectures()
+	t := &Table{Title: title, Note: "thread-IPC; Gmean excludes TMD (reflects reconvergence scheme, not SBI/SWI)"}
+	for _, a := range archs {
+		t.Cols = append(t.Cols, a.String())
+	}
+	ratios := make([][]float64, len(archs))
+	for _, b := range suite {
+		row := Row{Name: b.Name}
+		var base float64
+		for i, a := range archs {
+			s, err := r.Stats(b, sm.Configure(a))
+			if err != nil {
+				return nil, err
+			}
+			ipc := s.IPC()
+			if a == sm.ArchBaseline {
+				base = ipc
+			}
+			if !excludeFromMeans(b.Name) {
+				ratios[i] = append(ratios[i], ipc/base)
+			}
+			row.Cells = append(row.Cells, num(ipc))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mean := Row{Name: "Gmean speedup"}
+	for i := range archs {
+		mean.Cells = append(mean.Cells, num(gmean(ratios[i])))
+	}
+	t.Rows = append(t.Rows, mean)
+	return t, nil
+}
+
+// Fig7a reproduces figure 7(a): IPC of the regular applications.
+func (r *Runner) Fig7a() (*Table, error) {
+	return r.fig7("Figure 7(a): IPC, regular applications", kernels.Regular())
+}
+
+// Fig7b reproduces figure 7(b): IPC of the irregular applications.
+func (r *Runner) Fig7b() (*Table, error) {
+	return r.fig7("Figure 7(b): IPC, irregular applications", kernels.Irregular())
+}
+
+// Fig8a reproduces figure 8(a): the effect of the selective
+// synchronization constraints (§3.3) on SBI and SBI+SWI — speedup of
+// constrained over unconstrained execution, plus the issue-slot
+// reduction the constraints buy.
+func (r *Runner) Fig8a() (*Table, error) {
+	t := &Table{
+		Title: "Figure 8(a): reconvergence constraints (speedup of constrained over unconstrained)",
+		Cols:  []string{"SBI", "SBI+SWI", "SBI issue reduction", "SBI+SWI issue reduction"},
+		Note:  "issue reduction = fraction of issue slots saved by constraints",
+	}
+	var rsbi, rboth []float64
+	for _, b := range kernels.Irregular() {
+		row := Row{Name: b.Name}
+		var speed [2]float64
+		var saved [2]float64
+		for i, a := range []sm.Arch{sm.ArchSBI, sm.ArchSBISWI} {
+			on := sm.Configure(a)
+			on.Constraints = true
+			off := on
+			off.Constraints = false
+			sOn, err := r.Stats(b, on)
+			if err != nil {
+				return nil, err
+			}
+			sOff, err := r.Stats(b, off)
+			if err != nil {
+				return nil, err
+			}
+			speed[i] = sOn.IPC() / sOff.IPC()
+			saved[i] = 1 - float64(sOn.IssueSlots)/float64(sOff.IssueSlots)
+		}
+		row.Cells = []Cell{num(speed[0]), num(speed[1]), num(saved[0]), num(saved[1])}
+		t.Rows = append(t.Rows, row)
+		if !excludeFromMeans(b.Name) {
+			rsbi = append(rsbi, speed[0])
+			rboth = append(rboth, speed[1])
+		}
+	}
+	t.Rows = append(t.Rows, Row{Name: "Gmean", Cells: []Cell{num(gmean(rsbi)), num(gmean(rboth)), empty(), empty()}})
+	return t, nil
+}
+
+// Fig8b reproduces figure 8(b): speedup of each lane-shuffling policy
+// over Identity for SWI on the irregular applications.
+func (r *Runner) Fig8b() (*Table, error) {
+	policies := []sched.Shuffle{sched.ShuffleMirrorOdd, sched.ShuffleMirrorHalf, sched.ShuffleXor, sched.ShuffleXorRev}
+	t := &Table{Title: "Figure 8(b): SWI lane shuffling (speedup over Identity)"}
+	for _, p := range policies {
+		t.Cols = append(t.Cols, p.String())
+	}
+	ratios := make([][]float64, len(policies))
+	for _, b := range kernels.Irregular() {
+		ident := sm.Configure(sm.ArchSWI)
+		ident.Shuffle = sched.ShuffleIdentity
+		sid, err := r.Stats(b, ident)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Name: b.Name}
+		for i, p := range policies {
+			cfg := sm.Configure(sm.ArchSWI)
+			cfg.Shuffle = p
+			s, err := r.Stats(b, cfg)
+			if err != nil {
+				return nil, err
+			}
+			v := s.IPC() / sid.IPC()
+			row.Cells = append(row.Cells, num(v))
+			if !excludeFromMeans(b.Name) {
+				ratios[i] = append(ratios[i], v)
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mean := Row{Name: "GMean"}
+	for i := range policies {
+		mean.Cells = append(mean.Cells, num(gmean(ratios[i])))
+	}
+	t.Rows = append(t.Rows, mean)
+	return t, nil
+}
+
+// Fig9 reproduces figure 9: the slowdown of set-associative SWI lookup
+// relative to the fully-associative configuration, on the irregular
+// applications.
+func (r *Runner) Fig9() (*Table, error) {
+	assocs := []struct {
+		name string
+		ways int
+	}{
+		{"Fully associative", sched.AssocFull},
+		{"11-way", 11},
+		{"3-way", 3},
+		{"Direct mapped", 1},
+	}
+	t := &Table{Title: "Figure 9: SWI lookup associativity (slowdown vs fully-associative)"}
+	for _, a := range assocs {
+		t.Cols = append(t.Cols, a.name)
+	}
+	ratios := make([][]float64, len(assocs))
+	for _, b := range kernels.Irregular() {
+		full := sm.Configure(sm.ArchSWI)
+		sf, err := r.Stats(b, full)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Name: b.Name}
+		for i, a := range assocs {
+			cfg := sm.Configure(sm.ArchSWI)
+			cfg.Assoc = a.ways
+			s, err := r.Stats(b, cfg)
+			if err != nil {
+				return nil, err
+			}
+			v := s.IPC() / sf.IPC()
+			row.Cells = append(row.Cells, num(v))
+			if !excludeFromMeans(b.Name) {
+				ratios[i] = append(ratios[i], v)
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mean := Row{Name: "GMean"}
+	for i := range assocs {
+		mean.Cells = append(mean.Cells, num(gmean(ratios[i])))
+	}
+	t.Rows = append(t.Rows, mean)
+	return t, nil
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/area"
+	"repro/internal/sm"
+)
+
+// Table2 reproduces the micro-architecture parameter listing.
+func Table2() *Table {
+	archs := sm.Architectures()
+	t := &Table{Title: "Table 2: micro-architecture parameters"}
+	for _, a := range archs {
+		t.Cols = append(t.Cols, a.String())
+	}
+	get := func(name string, f func(c sm.Config) string) {
+		row := Row{Name: name}
+		for _, a := range archs {
+			row.Cells = append(row.Cells, str(f(sm.Configure(a))))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	get("Warps x width", func(c sm.Config) string { return fmt.Sprintf("%dx%d", c.NumWarps, c.WarpWidth) })
+	get("Front-end delay", func(c sm.Config) string { return fmt.Sprintf("%d cyc", c.IssueDelay) })
+	get("Execution latency", func(c sm.Config) string { return fmt.Sprintf("%d cyc", c.ExecLatency) })
+	get("Scoreboard", func(c sm.Config) string {
+		return fmt.Sprintf("%d/%s", c.ScoreboardEntries, c.DepMode)
+	})
+	get("MAD lanes", func(c sm.Config) string { return fmt.Sprintf("%dx%d", c.MADGroups, c.MADWidth) })
+	get("SFU/LSU lanes", func(c sm.Config) string { return fmt.Sprintf("%d/%d", c.SFUWidth, c.LSUWidth) })
+	get("L1D", func(c sm.Config) string {
+		return fmt.Sprintf("%dK/%dw/%dB", c.Mem.L1Bytes/1024, c.Mem.L1Ways, c.Mem.BlockBytes)
+	})
+	get("Memory", func(c sm.Config) string {
+		return fmt.Sprintf("%.0fB/cyc %dcyc", c.Mem.BytesPerCycle, c.Mem.MemLatency)
+	})
+	get("Constraints", func(c sm.Config) string { return fmt.Sprintf("%v", c.Constraints) })
+	get("Lane shuffle", func(c sm.Config) string { return c.Shuffle.String() })
+	return t
+}
+
+// Table3 reproduces the storage-requirement summary.
+func Table3() *Table {
+	g := area.PaperGeometry()
+	t := &Table{Title: "Table 3: storage requirements per component"}
+	for _, d := range area.Designs() {
+		t.Cols = append(t.Cols, d.String())
+	}
+	for _, c := range area.Components() {
+		row := Row{Name: c.String()}
+		for _, d := range area.Designs() {
+			s := area.StorageOf(g, c, d)
+			cell := s.Desc
+			if s.Bits > 0 {
+				cell = fmt.Sprintf("%s (%d b)", s.Desc, s.Bits)
+			}
+			row.Cells = append(row.Cells, str(cell))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table4 reproduces the area estimates (x1000 um^2, 40 nm).
+func Table4() *Table {
+	g, k := area.PaperGeometry(), area.PaperCoefficients()
+	t := &Table{
+		Title: "Table 4: area of each component (x1000 um^2)",
+		Note:  "analytical bit-count model calibrated to the paper's synthesis results (DESIGN.md)",
+	}
+	for _, d := range area.Designs() {
+		t.Cols = append(t.Cols, d.String())
+	}
+	for _, c := range area.Components() {
+		row := Row{Name: c.String()}
+		for _, d := range area.Designs() {
+			v := area.AreaOf(g, k, c, d)
+			if v == 0 {
+				row.Cells = append(row.Cells, empty())
+			} else {
+				row.Cells = append(row.Cells, Cell{Val: v, Str: fmt.Sprintf("%.1f", v)})
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	total := Row{Name: "Total"}
+	over := Row{Name: "Overhead"}
+	pct := Row{Name: "Overhead (% SM)"}
+	for _, d := range area.Designs() {
+		total.Cells = append(total.Cells, Cell{Val: area.Total(g, k, d), Str: fmt.Sprintf("%.1f", area.Total(g, k, d))})
+		abs, frac := area.Overhead(g, k, d)
+		if d == area.Baseline {
+			over.Cells = append(over.Cells, empty())
+			pct.Cells = append(pct.Cells, empty())
+		} else {
+			over.Cells = append(over.Cells, Cell{Val: abs, Str: fmt.Sprintf("%.1f", abs)})
+			pct.Cells = append(pct.Cells, Cell{Val: frac * 100, Str: fmt.Sprintf("%.1f%%", frac*100)})
+		}
+	}
+	t.Rows = append(t.Rows, total, over, pct)
+	return t
+}
+
+// Experiments names every runnable experiment for the CLI: the paper's
+// figures and tables plus the ablation studies.
+var Experiments = []string{
+	"fig7a", "fig7b", "fig8a", "fig8b", "fig9",
+	"table2", "table3", "table4",
+	"ablation-scoreboard", "ablation-memsplit", "heap-pressure",
+}
+
+// Run executes one experiment by name.
+func (r *Runner) Run(name string) (*Table, error) {
+	switch name {
+	case "fig7a":
+		return r.Fig7a()
+	case "fig7b":
+		return r.Fig7b()
+	case "fig8a":
+		return r.Fig8a()
+	case "fig8b":
+		return r.Fig8b()
+	case "fig9":
+		return r.Fig9()
+	case "table2":
+		return Table2(), nil
+	case "table3":
+		return Table3(), nil
+	case "table4":
+		return Table4(), nil
+	case "ablation-scoreboard":
+		return r.AblationScoreboard()
+	case "ablation-memsplit":
+		return r.AblationMemSplit()
+	case "heap-pressure":
+		return r.HeapPressure()
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Experiments)
+}
+
+// RunAll executes every experiment, writing each table to w.
+func (r *Runner) RunAll(w io.Writer) error {
+	for _, name := range Experiments {
+		t, err := r.Run(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, t.Text())
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+// Package kernels provides the benchmark suite of the paper's
+// evaluation (§5): mini-ISA ports of ten regular and eleven irregular
+// kernels from the CUDA SDK, Rodinia, and the Table Maker's Dilemma
+// application, each with a deterministic input generator and a pure-Go
+// reference implementation used as a functional oracle.
+//
+// The ports reproduce each benchmark's control-flow and memory-access
+// structure (the properties SBI/SWI react to) rather than its full
+// numerics; DESIGN.md §6 records the correspondence.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/exec"
+	"repro/internal/isa"
+)
+
+// Benchmark is one suite entry.
+type Benchmark struct {
+	Name    string
+	Regular bool // paper criterion: average IPC >= 30 at 64-wide warps
+	Source  string
+
+	Grid  int // thread blocks
+	Block int // threads per block
+
+	// Setup returns the initial global-memory image and the kernel
+	// parameters (byte offsets of the buffers).
+	Setup func(b *Benchmark) ([]byte, [isa.NumParams]uint32)
+
+	// Reference mutates global to the expected post-kernel state; it is
+	// the functional oracle for both simulators.
+	Reference func(b *Benchmark, global []byte, params [isa.NumParams]uint32)
+
+	// FrontierLayout is false for TMD1, whose blocks are deliberately
+	// laid out against thread-frontier order (§5.1).
+	FrontierLayout bool
+
+	plain *isa.Program // RecPC-annotated, no SYNCs (baseline stack)
+	tf    *isa.Program // SYNC-instrumented (thread-frontier designs)
+}
+
+// Program returns the assembled kernel: the SYNC-instrumented
+// thread-frontier variant or the plain annotated one. Programs are
+// assembled on first use and cached.
+func (b *Benchmark) Program(threadFrontier bool) (*isa.Program, error) {
+	if b.plain == nil {
+		p, err := asm.Assemble(b.Name, b.Source)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: %s: %w", b.Name, err)
+		}
+		if err := cfg.AnnotateReconvergence(p); err != nil {
+			return nil, fmt.Errorf("kernels: %s: %w", b.Name, err)
+		}
+		b.plain = p
+		tf, err := cfg.InsertSyncs(p)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: %s: %w", b.Name, err)
+		}
+		b.tf = tf
+	}
+	if threadFrontier {
+		return b.tf, nil
+	}
+	return b.plain, nil
+}
+
+// NewLaunch builds a fresh launch (new memory image) for the benchmark.
+func (b *Benchmark) NewLaunch(threadFrontier bool) (*exec.Launch, error) {
+	p, err := b.Program(threadFrontier)
+	if err != nil {
+		return nil, err
+	}
+	global, params := b.Setup(b)
+	return &exec.Launch{
+		Prog:     p,
+		GridDim:  b.Grid,
+		BlockDim: b.Block,
+		Params:   params,
+		Global:   global,
+	}, nil
+}
+
+// Expected returns the expected final global image for a fresh launch.
+func (b *Benchmark) Expected() []byte {
+	global, params := b.Setup(b)
+	b.Reference(b, global, params)
+	return global
+}
+
+// All returns the full suite in the paper's figure-7 order (regular
+// then irregular).
+func All() []*Benchmark {
+	out := make([]*Benchmark, 0, len(registry))
+	out = append(out, Regular()...)
+	out = append(out, Irregular()...)
+	return out
+}
+
+// Regular returns the regular-application suite (figure 7a).
+func Regular() []*Benchmark { return pick(true) }
+
+// Irregular returns the irregular-application suite (figure 7b).
+func Irregular() []*Benchmark { return pick(false) }
+
+func pick(regular bool) []*Benchmark {
+	var out []*Benchmark
+	for _, b := range registry {
+		if b.Regular == regular {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName finds a benchmark.
+func ByName(name string) (*Benchmark, bool) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// registry lists the suite in the paper's figure-7 order.
+var registry = buildRegistry()
+
+func buildRegistry() []*Benchmark {
+	bs := []*Benchmark{
+		// Regular (figure 7a).
+		newThreeDFD(),
+		newBackprop(),
+		newBinomialOptions(),
+		newBlackScholes(),
+		newDWTHaar1D(),
+		newFastWalshTransform(),
+		newHotspot(),
+		newMatrixMul(),
+		newMonteCarlo(),
+		newTranspose(),
+		// Irregular (figure 7b).
+		newBFS(),
+		newConvolutionSeparable(),
+		newEigenvalues(),
+		newHistogram(),
+		newLUD(),
+		newMandelbrot(),
+		newNeedlemanWunsch(),
+		newSortingNetworks(),
+		newSRAD(),
+		newTMD1(),
+		newTMD2(),
+	}
+	for _, b := range bs {
+		if b.Setup == nil || b.Reference == nil || b.Source == "" || b.Grid <= 0 || b.Block <= 0 {
+			panic(fmt.Sprintf("kernels: %s incompletely defined", b.Name))
+		}
+	}
+	return bs
+}

@@ -1,0 +1,249 @@
+// Package mem models the SM-side memory hierarchy of the paper's
+// baseline (Table 2): a 48 KB 6-way set-associative L1 data cache with
+// 128-byte blocks and 3-cycle hit latency, in front of a
+// throughput-limited constant-latency memory (10 GB/s and 330 ns at
+// 1 GHz, following the methodology of Gebhart et al. that the paper
+// adopts). The package also provides the LSU's intra-wave coalescer,
+// which merges the parallel accesses of a 32-lane wave into unique
+// 128-byte transactions; partial conflicts are replayed by the pipeline
+// with updated activity masks, one transaction per LSU cycle.
+package mem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config collects the memory-hierarchy parameters.
+type Config struct {
+	L1Bytes       int   // total L1 capacity
+	L1Ways        int   // associativity
+	BlockBytes    int   // cache block / memory transaction size
+	HitLatency    int64 // L1 hit latency in cycles
+	BytesPerCycle float64
+	MemLatency    int64 // DRAM round-trip latency in cycles
+}
+
+// Default returns the paper's Table 2 memory configuration.
+func Default() Config {
+	return Config{
+		L1Bytes:       48 * 1024,
+		L1Ways:        6,
+		BlockBytes:    128,
+		HitLatency:    3,
+		BytesPerCycle: 10, // 10 GB/s at 1 GHz
+		MemLatency:    330,
+	}
+}
+
+// Stats counts memory-system events.
+type Stats struct {
+	Loads             uint64 // load transactions presented to the L1
+	Stores            uint64 // store transactions
+	Hits              uint64
+	Misses            uint64
+	MSHRMerges        uint64 // misses merged into an outstanding fill
+	BytesFromMem      uint64
+	BytesToMem        uint64
+	PeakOutstanding   int // max simultaneous outstanding fills
+	Evictions         uint64
+	CoalescedAccesses uint64 // lanes served by all transactions
+	Transactions      uint64 // unique transactions after coalescing
+}
+
+type line struct {
+	tag   uint32
+	valid bool
+	lru   uint64
+	ready int64 // cycle the fill data actually arrives (hit-under-fill)
+}
+
+// Hierarchy is one SM's view of the memory system. It is purely a timing
+// model: data values live in the launch's memory image.
+type Hierarchy struct {
+	cfg   Config
+	sets  [][]line
+	nsets uint32
+	tick  uint64 // LRU clock
+
+	// DRAM port: the cycle (fractional) at which the port next frees.
+	portFree float64
+
+	// Outstanding fills by block address.
+	mshr map[uint32]int64
+
+	Stats Stats
+}
+
+// NewHierarchy builds a hierarchy for cfg. It panics on nonsensical
+// geometry (internal configuration error, not user input).
+func NewHierarchy(cfg Config) *Hierarchy {
+	if cfg.BlockBytes <= 0 || cfg.L1Ways <= 0 || cfg.L1Bytes%(cfg.BlockBytes*cfg.L1Ways) != 0 {
+		panic(fmt.Sprintf("mem: invalid L1 geometry %+v", cfg))
+	}
+	nsets := cfg.L1Bytes / (cfg.BlockBytes * cfg.L1Ways)
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.L1Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.L1Ways : (i+1)*cfg.L1Ways]
+	}
+	return &Hierarchy{
+		cfg:   cfg,
+		sets:  sets,
+		nsets: uint32(nsets),
+		mshr:  make(map[uint32]int64),
+	}
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// BlockAddr returns the block-aligned address containing addr.
+func (h *Hierarchy) BlockAddr(addr uint32) uint32 {
+	return addr &^ uint32(h.cfg.BlockBytes-1)
+}
+
+func (h *Hierarchy) setIndex(blockAddr uint32) uint32 {
+	return (blockAddr / uint32(h.cfg.BlockBytes)) % h.nsets
+}
+
+func (h *Hierarchy) tag(blockAddr uint32) uint32 {
+	return blockAddr / uint32(h.cfg.BlockBytes) / h.nsets
+}
+
+// lookup probes the L1 and updates LRU on hit, returning the line.
+func (h *Hierarchy) lookup(blockAddr uint32) *line {
+	h.tick++
+	set := h.sets[h.setIndex(blockAddr)]
+	tag := h.tag(blockAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = h.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// fill allocates blockAddr in the L1, evicting LRU. ready is the cycle
+// the fill data arrives; accesses before then are hits-under-fill and
+// wait for it.
+func (h *Hierarchy) fill(blockAddr uint32, ready int64) {
+	h.tick++
+	set := h.sets[h.setIndex(blockAddr)]
+	tag := h.tag(blockAddr)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		h.Stats.Evictions++
+	}
+	set[victim] = line{tag: tag, valid: true, lru: h.tick, ready: ready}
+}
+
+// dramAccess reserves port bandwidth for one transaction starting no
+// earlier than now and returns the cycle its data returns.
+func (h *Hierarchy) dramAccess(now int64, bytes int) int64 {
+	start := math.Max(float64(now), h.portFree)
+	h.portFree = start + float64(bytes)/h.cfg.BytesPerCycle
+	return int64(math.Ceil(start)) + h.cfg.MemLatency
+}
+
+// Load presents one load transaction for blockAddr at cycle now and
+// returns the cycle at which its data is available. An access to a line
+// whose fill is still in flight waits for the fill (hit-under-fill).
+func (h *Hierarchy) Load(now int64, blockAddr uint32) int64 {
+	h.Stats.Loads++
+	if l := h.lookup(blockAddr); l != nil {
+		hit := now + h.cfg.HitLatency
+		if l.ready > hit {
+			// Data still in flight from DRAM: merge into the fill.
+			h.Stats.MSHRMerges++
+			return l.ready
+		}
+		h.Stats.Hits++
+		return hit
+	}
+	h.Stats.Misses++
+	if ready, ok := h.mshr[blockAddr]; ok && ready > now {
+		// The line was evicted while its fill is still outstanding:
+		// merge into the fill without spending more bandwidth.
+		h.Stats.MSHRMerges++
+		return ready
+	}
+	ready := h.dramAccess(now, h.cfg.BlockBytes)
+	h.Stats.BytesFromMem += uint64(h.cfg.BlockBytes)
+	h.mshr[blockAddr] = ready
+	if n := h.pruneMSHR(now); n > h.Stats.PeakOutstanding {
+		h.Stats.PeakOutstanding = n
+	}
+	h.fill(blockAddr, ready)
+	return ready
+}
+
+// Store presents one store transaction (write-through, no-allocate on
+// miss; hits refresh the line) and returns the cycle the LSU may retire
+// it. Store data does not stall dependents, but the transaction consumes
+// memory bandwidth.
+func (h *Hierarchy) Store(now int64, blockAddr uint32) int64 {
+	h.Stats.Stores++
+	h.lookup(blockAddr) // refresh LRU if present
+	h.dramAccess(now, h.cfg.BlockBytes)
+	h.Stats.BytesToMem += uint64(h.cfg.BlockBytes)
+	return now + h.cfg.HitLatency
+}
+
+// Probe reports whether blockAddr is present with its data arrived by
+// cycle now, without touching LRU state or statistics.
+func (h *Hierarchy) Probe(now int64, blockAddr uint32) bool {
+	set := h.sets[h.setIndex(blockAddr)]
+	tag := h.tag(blockAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return set[i].ready <= now
+		}
+	}
+	return false
+}
+
+func (h *Hierarchy) pruneMSHR(now int64) int {
+	n := 0
+	for b, ready := range h.mshr {
+		if ready <= now {
+			delete(h.mshr, b)
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// Coalesce merges the active lanes' addresses in [lo, hi) into unique
+// block-aligned transactions, preserving first-touch order (the order in
+// which replays are issued). It appends to dst and returns it.
+func Coalesce(dst []uint32, addrs []uint32, mask uint64, lo, hi int, blockBytes uint32) []uint32 {
+	for lane := lo; lane < hi && lane < len(addrs); lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		b := addrs[lane] &^ (blockBytes - 1)
+		seen := false
+		for _, d := range dst {
+			if d == b {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}

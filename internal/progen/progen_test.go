@@ -1,0 +1,170 @@
+package progen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/exec"
+	"repro/internal/sm"
+)
+
+func TestGeneratedProgramsAssemble(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		g := New(seed)
+		p, err := g.Program("fuzz", 6)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if p.Len() < 10 {
+			t.Errorf("seed %d: suspiciously small program (%d instructions)", seed, p.Len())
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGeneratedProgramsAreFrontierOrdered(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		p, err := New(seed).Program("fuzz", 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := cfg.ValidateFrontierLayout(p); len(v) > 0 {
+			t.Errorf("seed %d: generator emitted non-frontier layout: %v", seed, v)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, err := New(7).Program("x", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(7).Program("x", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("same seed produced different programs")
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}
+
+// The heart of the harness: for dozens of random divergent programs,
+// every architecture's cycle-level simulation must produce memory
+// bit-identical to the functional reference.
+func TestDifferentialAllArchitectures(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		gen := New(seed)
+		prog, err := gen.Program("fuzz", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tf, err := cfg.InsertSyncs(prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, gen.Source())
+		}
+
+		const grid, block = 2, 192
+		words := grid * block
+
+		ref := &exec.Launch{Prog: prog, GridDim: grid, BlockDim: block, Global: make([]byte, words*4)}
+		if _, err := exec.RunReference(ref, 32); err != nil {
+			t.Fatalf("seed %d: reference: %v\n%s", seed, err, gen.Source())
+		}
+
+		for _, a := range sm.Architectures() {
+			p := tf
+			if a == sm.ArchBaseline {
+				p = prog
+			}
+			l := &exec.Launch{Prog: p, GridDim: grid, BlockDim: block, Global: make([]byte, words*4)}
+			if _, err := sm.Run(sm.Configure(a), l); err != nil {
+				t.Fatalf("seed %d on %s: %v\n%s", seed, a, err, gen.Source())
+			}
+			if !bytes.Equal(l.Global, ref.Global) {
+				t.Fatalf("seed %d on %s: memory differs from reference\n%s", seed, a, gen.Source())
+			}
+		}
+	}
+}
+
+// Same differential under the extension knobs: memory-divergence
+// splitting and disabled constraints must never change results.
+func TestDifferentialExtensionKnobs(t *testing.T) {
+	seeds := 15
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := uint64(100); seed < uint64(100+seeds); seed++ {
+		gen := New(seed)
+		prog, err := gen.Program("fuzz", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tf, err := cfg.InsertSyncs(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const grid, block = 2, 128
+		words := grid * block
+		ref := &exec.Launch{Prog: prog, GridDim: grid, BlockDim: block, Global: make([]byte, words*4)}
+		if _, err := exec.RunReference(ref, 32); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, variant := range []func(*sm.Config){
+			func(c *sm.Config) { c.Constraints = false },
+			func(c *sm.Config) { c.SplitOnMemDivergence = true },
+			func(c *sm.Config) { c.Constraints = false; c.SplitOnMemDivergence = true },
+		} {
+			c := sm.Configure(sm.ArchSBISWI)
+			variant(&c)
+			l := &exec.Launch{Prog: tf, GridDim: grid, BlockDim: block, Global: make([]byte, words*4)}
+			if _, err := sm.Run(c, l); err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, gen.Source())
+			}
+			if !bytes.Equal(l.Global, ref.Global) {
+				t.Fatalf("seed %d: knob variant changed results\n%s", seed, gen.Source())
+			}
+		}
+	}
+}
+
+// Generated programs must actually diverge (otherwise the differential
+// harness tests nothing interesting).
+func TestGeneratedProgramsDiverge(t *testing.T) {
+	diverged := 0
+	for seed := uint64(1); seed <= 20; seed++ {
+		prog, err := New(seed).Program("fuzz", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tf, err := cfg.InsertSyncs(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := &exec.Launch{Prog: tf, GridDim: 1, BlockDim: 128, Global: make([]byte, 128*4)}
+		res, err := sm.Run(sm.Configure(sm.ArchSBI), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Divergences > 0 {
+			diverged++
+		}
+	}
+	if diverged < 12 {
+		t.Errorf("only %d/20 random programs diverged", diverged)
+	}
+}

@@ -1,0 +1,129 @@
+package sched
+
+import "fmt"
+
+// Associativity of the SWI secondary scheduler's mask-subset lookup
+// (§4, figure 9). A fully-associative lookup searches every warp's
+// instruction-buffer entry; a set-associative lookup partitions warps
+// into sets and searches only the set selected by the low-order bits of
+// the primary warp identifier, trading scheduling opportunities for a
+// cheaper, bank-partitioned instruction buffer.
+const (
+	// AssocFull searches all warps.
+	AssocFull = 0
+)
+
+// BuddySets partitions numWarps warps into sets of size at most assoc
+// (assoc = AssocFull means one set holding everything). Warp w belongs
+// to set w mod numSets, so consecutive warps land in different sets —
+// matching the paper's "low-order bits of the warp identifier" indexing.
+func BuddySets(numWarps, assoc int) ([][]int, error) {
+	if numWarps <= 0 {
+		return nil, fmt.Errorf("sched: numWarps %d invalid", numWarps)
+	}
+	if assoc < 0 {
+		return nil, fmt.Errorf("sched: associativity %d invalid", assoc)
+	}
+	if assoc == AssocFull || assoc >= numWarps {
+		all := make([]int, numWarps)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}, nil
+	}
+	numSets := (numWarps + assoc - 1) / assoc
+	sets := make([][]int, numSets)
+	for w := 0; w < numWarps; w++ {
+		s := w % numSets
+		sets[s] = append(sets[s], w)
+	}
+	return sets, nil
+}
+
+// Lookup answers "which warps may the secondary scheduler consider when
+// the primary issued warp w" with precomputed set membership.
+type Lookup struct {
+	assoc   int
+	numSets int
+	sets    [][]int
+	setOf   []int
+}
+
+// NewLookup builds the lookup structure for numWarps warps with the
+// given associativity.
+func NewLookup(numWarps, assoc int) (*Lookup, error) {
+	sets, err := BuddySets(numWarps, assoc)
+	if err != nil {
+		return nil, err
+	}
+	l := &Lookup{assoc: assoc, numSets: len(sets), sets: sets, setOf: make([]int, numWarps)}
+	for si, set := range sets {
+		for _, w := range set {
+			l.setOf[w] = si
+		}
+	}
+	// Direct-mapped degenerate case: a warp's own set holds only the
+	// warp itself, which the secondary scheduler must exclude. Probe the
+	// neighboring set instead (still a function of the primary warp's
+	// low-order bits), giving every warp one fixed buddy.
+	if l.numSets == numWarps {
+		for w := range l.setOf {
+			l.setOf[w] = (w + 1) % l.numSets
+		}
+	}
+	return l, nil
+}
+
+// Candidates returns the warps searched when the primary warp is
+// `primary`. The slice is shared; callers must not modify it.
+func (l *Lookup) Candidates(primary int) []int {
+	return l.sets[l.setOf[primary]]
+}
+
+// SetWarps returns the warps of set index si (used when the secondary
+// scheduler substitutes for an idle primary and probes sets
+// round-robin). The slice is shared; callers must not modify it.
+func (l *Lookup) SetWarps(si int) []int {
+	return l.sets[si%l.numSets]
+}
+
+// NumSets returns the number of instruction-buffer banks the
+// configuration implies.
+func (l *Lookup) NumSets() int { return l.numSets }
+
+// Assoc returns the configured associativity (AssocFull = fully
+// associative).
+func (l *Lookup) Assoc() int { return l.assoc }
+
+// XorShift64 is the pseudo-random tie-breaker used by the secondary
+// scheduler's best-fit policy (§4: "pseudo-random tie-breaking"),
+// deterministic for reproducible simulations.
+type XorShift64 uint64
+
+// NewXorShift64 seeds the generator; a zero seed is replaced by a fixed
+// non-zero constant (xorshift has a zero fixed point).
+func NewXorShift64(seed uint64) *XorShift64 {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	x := XorShift64(seed)
+	return &x
+}
+
+// Next returns the next value in the sequence.
+func (x *XorShift64) Next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = XorShift64(v)
+	return v
+}
+
+// Intn returns a value in [0, n).
+func (x *XorShift64) Intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(x.Next() % uint64(n))
+}

@@ -1,0 +1,253 @@
+// Package sm implements the cycle-level Streaming Multiprocessor model
+// of the paper: the Fermi-like baseline (§2, figure 1), Simultaneous
+// Branch Interweaving (§3, figure 3), Simultaneous Warp Interweaving
+// (§4), their combination, and the 64-wide thread-frontier reference
+// configuration used in figure 7.
+//
+// The model is execute-at-issue: when an instruction issues, its
+// architectural effects happen immediately, while the timing machinery
+// (scoreboard writeback times, execution-unit occupancy, L1/DRAM
+// latencies) decides when dependent instructions may issue. Per-thread
+// program order is preserved structurally, so functional results are
+// exact regardless of timing-model details; tests assert bit-exact
+// equality against the functional reference simulator.
+package sm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// Arch enumerates the modeled micro-architectures.
+type Arch uint8
+
+// Architectures of the paper's evaluation (figure 7).
+const (
+	// ArchBaseline is the Fermi-like SM: two pools of 32-wide warps with
+	// even/odd identifiers, one scheduler per pool, and stack-based
+	// reconvergence.
+	ArchBaseline Arch = iota
+
+	// ArchWarp64 is the thread-frontier reference: a single pool of
+	// 64-wide warps, min-PC (thread frontier) reconvergence via the
+	// sorted heap, single-issue.
+	ArchWarp64
+
+	// ArchSBI adds the second front-end of figure 3: each cycle the
+	// selected warp co-issues its primary (CPC1) and secondary (CPC2)
+	// warp-splits to disjoint subsets of the 64-lane row; when no
+	// secondary split exists the second front-end issues the next
+	// sequential instruction of the primary split to a distinct unit
+	// group ("scheduling more instructions to distinct SIMD groups",
+	// §5.1).
+	ArchSBI
+
+	// ArchSWI uses the cascaded secondary scheduler of §4: one pipeline
+	// stage after the primary picks I1, the secondary searches other
+	// warps for an instruction with a non-overlapping lane mask (or one
+	// targeting a free unit group), using a set-associative lookup and
+	// lane shuffling.
+	ArchSWI
+
+	// ArchSBISWI combines both: the secondary front-end prefers the
+	// warp's own secondary split, then other warps (SWI), then the
+	// sequential fallback.
+	ArchSBISWI
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchBaseline:
+		return "Baseline"
+	case ArchWarp64:
+		return "Warp64"
+	case ArchSBI:
+		return "SBI"
+	case ArchSWI:
+		return "SWI"
+	case ArchSBISWI:
+		return "SBI+SWI"
+	}
+	return fmt.Sprintf("Arch(%d)", uint8(a))
+}
+
+// Architectures lists all modeled architectures in figure-7 order.
+func Architectures() []Arch {
+	return []Arch{ArchBaseline, ArchSBI, ArchSWI, ArchSBISWI, ArchWarp64}
+}
+
+// Config collects every micro-architecture parameter (paper table 2).
+type Config struct {
+	Arch      Arch
+	NumWarps  int // resident warps
+	WarpWidth int // threads per warp (max 64)
+
+	// IssueDelay is the number of extra front-end cycles between a
+	// dependency clearing and the dependent instruction issuing. It
+	// aggregates the scheduler stages beyond the first and the
+	// instruction-delivery wire stage of table 2: baseline 0, SBI and
+	// Warp64 1, SWI and SBI+SWI 2.
+	IssueDelay int64
+
+	// ExecLatency is the register-to-register execution latency.
+	ExecLatency int64
+
+	// SharedLatency is the shared-memory access latency.
+	SharedLatency int64
+
+	// ScoreboardEntries bounds in-flight register writes per warp.
+	ScoreboardEntries int
+	DepMode           sched.DepMode
+
+	// MADGroups is the number of MAD unit groups; each is MADWidth wide.
+	// The baseline has two 32-lane groups, the 64-wide designs one
+	// 64-lane row that two disjoint-mask instructions may share.
+	MADGroups int
+	MADWidth  int
+	SFUWidth  int
+	LSUWidth  int
+
+	// CoIssueMAD allows two disjoint-mask instructions to share the MAD
+	// row in one cycle (the per-lane instruction multiplexer of fig. 3).
+	CoIssueMAD bool
+
+	// Constraints enables the selective synchronization barrier of §3.3
+	// (SYNC instructions suspend run-ahead splits). Without it SYNCs
+	// still occupy issue slots but never block.
+	Constraints bool
+
+	// Shuffle is the static lane shuffling policy (table 1).
+	Shuffle sched.Shuffle
+
+	// Assoc is the SWI secondary lookup associativity
+	// (sched.AssocFull = fully associative).
+	Assoc int
+
+	// CCTCap is the Cold Context Table capacity per warp (statistics).
+	CCTCap int
+
+	// SplitOnMemDivergence enables the Dynamic-Warp-Subdivision-style
+	// extension: a load hitting partially in the L1 splits the warp so
+	// hit threads run ahead while miss threads replay the load. Off by
+	// default, as in the paper (discussed as related/future work).
+	SplitOnMemDivergence bool
+
+	Mem mem.Config
+
+	// Seed drives the secondary scheduler's tie-breaking PRNG.
+	Seed uint64
+
+	// MaxCycles aborts runaway simulations; 0 means the default bound.
+	MaxCycles int64
+
+	// TraceCap, when positive, records up to that many issue events for
+	// pipeline visualization (figure 2).
+	TraceCap int
+}
+
+// defaultMaxCycles bounds simulations against livelocked kernels.
+const defaultMaxCycles = 1 << 30
+
+// Configure returns the paper's table-2 configuration for an
+// architecture.
+func Configure(a Arch) Config {
+	c := Config{
+		Arch:              a,
+		NumWarps:          16,
+		WarpWidth:         64,
+		ExecLatency:       8,
+		SharedLatency:     3,
+		ScoreboardEntries: 6,
+		MADGroups:         1,
+		MADWidth:          64,
+		SFUWidth:          8,
+		LSUWidth:          32,
+		Shuffle:           sched.ShuffleIdentity,
+		Assoc:             sched.AssocFull,
+		CCTCap:            8,
+		Mem:               mem.Default(),
+	}
+	switch a {
+	case ArchBaseline:
+		c.NumWarps, c.WarpWidth = 32, 32
+		c.MADGroups, c.MADWidth = 2, 32
+		c.IssueDelay = 0
+		c.DepMode = sched.DepWarp
+	case ArchWarp64:
+		c.IssueDelay = 1
+		c.DepMode = sched.DepMatrix
+	case ArchSBI:
+		c.IssueDelay = 1
+		c.DepMode = sched.DepMatrix
+		c.CoIssueMAD = true
+		c.Constraints = true
+	case ArchSWI:
+		c.IssueDelay = 2
+		c.DepMode = sched.DepWarp
+		c.CoIssueMAD = true
+		c.Shuffle = sched.ShuffleXorRev
+	case ArchSBISWI:
+		c.IssueDelay = 2
+		c.DepMode = sched.DepMatrix
+		c.CoIssueMAD = true
+		c.Constraints = true
+		c.Shuffle = sched.ShuffleXorRev
+	}
+	return c
+}
+
+// usesHeap reports whether the architecture reconverges via the
+// thread-frontier heap (vs. the baseline stack).
+func (c *Config) usesHeap() bool { return c.Arch != ArchBaseline }
+
+// hotSlots is how many warp-splits per warp the front-end may schedule:
+// two for SBI-class designs, one otherwise.
+func (c *Config) hotSlots() int {
+	if c.Arch == ArchSBI || c.Arch == ArchSBISWI {
+		return 2
+	}
+	return 1
+}
+
+// pools is the number of independent warp pools/schedulers issuing a
+// primary instruction each cycle.
+func (c *Config) pools() int {
+	if c.Arch == ArchBaseline {
+		return 2
+	}
+	return 1
+}
+
+// hasSecondary reports whether a secondary issue slot exists.
+func (c *Config) hasSecondary() bool {
+	return c.Arch == ArchSBI || c.Arch == ArchSWI || c.Arch == ArchSBISWI
+}
+
+// Validate checks configuration sanity.
+func (c *Config) Validate() error {
+	if c.NumWarps <= 0 || c.WarpWidth <= 0 || c.WarpWidth > 64 {
+		return fmt.Errorf("sm: warps %d x width %d out of range", c.NumWarps, c.WarpWidth)
+	}
+	if c.WarpWidth&(c.WarpWidth-1) != 0 {
+		return fmt.Errorf("sm: warp width %d must be a power of two", c.WarpWidth)
+	}
+	if c.MADGroups <= 0 || c.MADWidth <= 0 || c.SFUWidth <= 0 || c.LSUWidth <= 0 {
+		return fmt.Errorf("sm: unit geometry invalid: %d MAD x %d, SFU %d, LSU %d",
+			c.MADGroups, c.MADWidth, c.SFUWidth, c.LSUWidth)
+	}
+	if c.MADWidth < c.WarpWidth && c.Arch != ArchBaseline {
+		return fmt.Errorf("sm: MAD row (%d) narrower than warp (%d)", c.MADWidth, c.WarpWidth)
+	}
+	if c.ScoreboardEntries <= 0 {
+		return fmt.Errorf("sm: scoreboard entries must be positive")
+	}
+	if c.ExecLatency < 1 {
+		return fmt.Errorf("sm: execution latency must be at least 1")
+	}
+	if c.SplitOnMemDivergence && !c.usesHeap() {
+		return fmt.Errorf("sm: memory-divergence splitting requires a thread-frontier architecture")
+	}
+	return nil
+}

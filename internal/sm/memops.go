@@ -1,0 +1,145 @@
+package sm
+
+import (
+	"math/bits"
+
+	"repro/internal/exec"
+	"repro/internal/mem"
+)
+
+// execMem performs a memory instruction: per-thread effective addresses,
+// intra-wave coalescing into 128-byte transactions (replayed one per
+// LSU cycle), L1/DRAM timing, the functional load/store, and — when
+// SplitOnMemDivergence is enabled — the DWS-style hit/miss warp split.
+func (s *SM) execMem(c *candidate) error {
+	w, ins := c.w, c.ins
+
+	space, image := "global", s.launch.Global
+	if !ins.Op.IsGlobal() {
+		space, image = "shared", w.block.shared
+	}
+
+	// Per-thread addresses. The architectural load is applied only to
+	// the threads that advance past the instruction: under
+	// memory-divergence splitting the miss threads replay the whole
+	// load later, so their registers (including a destination that
+	// doubles as the address register) must stay untouched.
+	var addrs [64]uint32
+	for m := c.mask; m != 0; m &= m - 1 {
+		t := bits.TrailingZeros64(m)
+		addrs[t] = exec.EffAddr(ins, &w.regs[t])
+	}
+	apply := func(mask uint64) error {
+		for m := mask; m != 0; m &= m - 1 {
+			t := bits.TrailingZeros64(m)
+			r := &w.regs[t]
+			if ins.Op.IsLoad() {
+				v, err := exec.Load32(space, image, addrs[t], c.pc)
+				if err != nil {
+					return err
+				}
+				r[ins.Dst] = v
+			} else if err := exec.Store32(space, image, addrs[t], r[ins.SrcC], c.pc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if !ins.Op.IsGlobal() {
+		// Shared memory: one LSU cycle per wave, fixed low latency, no
+		// bank-conflict model (documented simplification).
+		if err := apply(c.mask); err != nil {
+			return err
+		}
+		waves := int64(s.units.lsuWaves(c.mask))
+		s.units.issueLSU(waves, s.now)
+		s.stats.Transactions += uint64(waves)
+		if ins.Op.IsLoad() {
+			s.sb.Issue(w.id, ins, c.slot, c.mask, s.now+s.cfg.SharedLatency+waves-1)
+		}
+		s.advance(c, c.pc+1)
+		return nil
+	}
+
+	// Global memory: coalesce per wave, one transaction per LSU cycle.
+	blockBytes := uint32(s.cfg.Mem.BlockBytes)
+	var txnBlocks []uint32
+	waves := 0
+	per := s.cfg.LSUWidth
+	for lo := 0; lo < s.cfg.WarpWidth; lo += per {
+		before := len(txnBlocks)
+		txnBlocks = mem.Coalesce(txnBlocks, addrs[:s.cfg.WarpWidth], c.mask, lo, lo+per, blockBytes)
+		if len(txnBlocks) > before {
+			waves++
+		}
+	}
+	txns := int64(len(txnBlocks))
+	s.units.issueLSU(txns, s.now)
+	s.stats.Transactions += uint64(txns)
+	if t := txns - int64(waves); t > 0 {
+		s.stats.Replays += uint64(t)
+	}
+
+	if !ins.Op.IsLoad() {
+		if err := apply(c.mask); err != nil {
+			return err
+		}
+		for _, b := range txnBlocks {
+			s.hier.Store(s.now, b)
+		}
+		s.advance(c, c.pc+1)
+		return nil
+	}
+
+	// Loads: each transaction returns at its own cycle; the split's
+	// writeback is the slowest one unless memory-divergence splitting
+	// lets hit threads run ahead.
+	readyOf := make(map[uint32]int64, len(txnBlocks))
+	maxReady := int64(0)
+	for _, b := range txnBlocks {
+		r := s.hier.Load(s.now, b)
+		readyOf[b] = r
+		if r > maxReady {
+			maxReady = r
+		}
+	}
+
+	if s.cfg.SplitOnMemDivergence {
+		hitBound := s.now + s.cfg.Mem.HitLatency
+		var hitMask, missMask uint64
+		hitReady := int64(0)
+		for m := c.mask; m != 0; m &= m - 1 {
+			t := bits.TrailingZeros64(m)
+			r := readyOf[addrs[t]&^(blockBytes-1)]
+			if r <= hitBound {
+				hitMask |= 1 << uint(t)
+				if r > hitReady {
+					hitReady = r
+				}
+			} else {
+				missMask |= 1 << uint(t)
+			}
+		}
+		if hitMask != 0 && missMask != 0 {
+			// Hit threads advance with their fast writeback; miss
+			// threads stay at the load with registers untouched and
+			// replay it (by then the lines are in flight or filled, so
+			// the replay is cheap).
+			if err := apply(hitMask); err != nil {
+				return err
+			}
+			s.stats.MemSplits++
+			s.sb.Issue(w.id, ins, c.slot, hitMask, hitReady)
+			s.mutateHeap(w, func() { w.heap.Diverge(c.pc, c.pc+1, c.pc, hitMask, s.now) })
+			return nil
+		}
+	}
+
+	if err := apply(c.mask); err != nil {
+		return err
+	}
+	s.sb.Issue(w.id, ins, c.slot, c.mask, maxReady)
+	s.advance(c, c.pc+1)
+	return nil
+}

@@ -1,0 +1,778 @@
+package sm
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/reconv"
+	"repro/internal/sched"
+)
+
+// SM is one simulated Streaming Multiprocessor mid-run.
+type SM struct {
+	cfg    Config
+	launch *exec.Launch
+	prog   *isa.Program
+	hier   *mem.Hierarchy
+	sb     *sched.Scoreboard
+	lookup *sched.Lookup
+	rng    *sched.XorShift64
+	units  *units
+
+	warps   []*warp
+	blocks  []*block
+	nextCTA int
+	now     int64
+
+	srcBuf []isa.Reg
+
+	stats Stats
+	trace *Trace
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Stats Stats
+	Trace *Trace
+}
+
+// candidate is an issueable (warp, split) pair resolved by a scheduler.
+type candidate struct {
+	w    *warp
+	slot int // hot-context slot for heap configs; 0 for the stack
+	pc   int
+	mask uint64
+	lane uint64
+	ins  *isa.Instruction
+}
+
+// Run simulates the launch to completion on an SM configured by cfg and
+// returns the statistics. The launch's global memory is mutated in
+// place; callers needing the initial image should use CloneGlobal.
+func Run(cfg Config, l *exec.Launch) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	warpsPerBlock := (l.BlockDim + cfg.WarpWidth - 1) / cfg.WarpWidth
+	if warpsPerBlock > cfg.NumWarps {
+		return nil, fmt.Errorf("sm: block of %d threads needs %d warps, SM has %d",
+			l.BlockDim, warpsPerBlock, cfg.NumWarps)
+	}
+	if !cfg.usesHeap() {
+		for pc := range l.Prog.Code {
+			ins := &l.Prog.Code[pc]
+			if ins.Conditional() && ins.RecPC < 0 {
+				return nil, fmt.Errorf("sm: %s: pc %d: stack architecture needs RecPC annotations (run cfg.AnnotateReconvergence)", l.Prog.Name, pc)
+			}
+		}
+	}
+
+	s := &SM{
+		cfg:    cfg,
+		launch: l,
+		prog:   l.Prog,
+		hier:   mem.NewHierarchy(cfg.Mem),
+		sb:     sched.NewScoreboard(cfg.DepMode, cfg.NumWarps, cfg.ScoreboardEntries),
+		rng:    sched.NewXorShift64(cfg.Seed),
+		units:  newUnits(&cfg),
+		warps:  make([]*warp, cfg.NumWarps),
+	}
+	lk, err := sched.NewLookup(cfg.NumWarps, cfg.Assoc)
+	if err != nil {
+		return nil, err
+	}
+	s.lookup = lk
+	for i := range s.warps {
+		s.warps[i] = &warp{id: i}
+	}
+	if cfg.TraceCap > 0 {
+		s.trace = &Trace{cap: cfg.TraceCap}
+	}
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = defaultMaxCycles
+	}
+
+	for {
+		s.retireBlocks()
+		s.launchBlocks()
+		if s.done() {
+			break
+		}
+		s.releaseBarriers()
+		if err := s.cycle(); err != nil {
+			return nil, err
+		}
+		s.now++
+		if s.now > maxCycles {
+			return nil, fmt.Errorf("sm: %s on %s: cycle limit %d exceeded (livelock?)\n%s",
+				s.prog.Name, cfg.Arch, maxCycles, s.dumpState())
+		}
+	}
+
+	s.stats.Cycles = s.now
+	s.stats.ScoreboardChecks = s.sb.Stats.Checks
+	s.stats.ScoreboardStalls = s.sb.Stats.Stalls
+	s.stats.StructuralStalls = s.sb.Stats.Structural
+	s.stats.Mem = s.hier.Stats
+	s.collectHeapStats()
+	return &Result{Stats: s.stats, Trace: s.trace}, nil
+}
+
+// collectHeapStats folds per-warp reconvergence statistics of the still
+// resident warps into the run statistics (retired warps fold in
+// retireBlocks).
+func (s *SM) collectHeapStats() {
+	for _, w := range s.warps {
+		s.foldWarpStats(w)
+	}
+}
+
+func (s *SM) foldWarpStats(w *warp) {
+	if w.heap != nil {
+		st := w.heap.Stats
+		s.stats.Merges += st.Merges
+		s.stats.DegradedInserts += st.DegradedInser
+		s.stats.CCTOverflows += st.CCTOverflows
+		if st.MaxSplits > s.stats.MaxSplits {
+			s.stats.MaxSplits = st.MaxSplits
+		}
+		w.heap.Stats = reconv.HeapStats{}
+	}
+	if w.stack != nil {
+		if d := w.stack.MaxDepth(); d > s.stats.MaxStackDepth {
+			s.stats.MaxStackDepth = d
+		}
+	}
+}
+
+// done reports whether every CTA has been run to completion.
+func (s *SM) done() bool {
+	return s.nextCTA >= s.launch.GridDim && len(s.blocks) == 0
+}
+
+// dumpState renders a one-line-per-warp summary for livelock reports.
+func (s *SM) dumpState() string {
+	out := ""
+	for _, w := range s.warps {
+		if w.block == nil {
+			continue
+		}
+		out += fmt.Sprintf("  warp %d (cta %d) atBarrier=%v: ", w.id, w.block.cta, w.atBarrier)
+		if w.heap != nil {
+			for i := 0; i < reconv.HotContexts; i++ {
+				if c := w.heap.Slot(i); c != nil {
+					out += fmt.Sprintf("slot%d{pc=%d mask=%x wait=%d parked=%v} ",
+						i, c.PC, c.Mask, c.WaitDiv, c.Parked)
+				}
+			}
+			out += w.heap.String()
+		} else if pc, mask, ok := w.stack.Active(); ok {
+			out += fmt.Sprintf("stack{pc=%d mask=%x}", pc, mask)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// retireBlocks frees the warps of completed blocks.
+func (s *SM) retireBlocks() {
+	out := s.blocks[:0]
+	for _, b := range s.blocks {
+		if b.liveWarps() > 0 {
+			out = append(out, b)
+			continue
+		}
+		for _, w := range b.warps {
+			s.foldWarpStats(w)
+			w.block = nil
+		}
+		s.stats.BlocksRun++
+	}
+	s.blocks = out
+}
+
+// launchBlocks assigns pending CTAs to free warp contexts.
+func (s *SM) launchBlocks() {
+	warpsPerBlock := (s.launch.BlockDim + s.cfg.WarpWidth - 1) / s.cfg.WarpWidth
+	for s.nextCTA < s.launch.GridDim {
+		var free []*warp
+		for _, w := range s.warps {
+			if w.block == nil {
+				free = append(free, w)
+				if len(free) == warpsPerBlock {
+					break
+				}
+			}
+		}
+		if len(free) < warpsPerBlock {
+			return
+		}
+		s.startBlock(s.nextCTA, free)
+		s.nextCTA++
+	}
+}
+
+// startBlock initializes warp state for one CTA.
+func (s *SM) startBlock(cta int, ws []*warp) {
+	b := &block{cta: cta, warps: ws, shared: make([]byte, s.prog.SharedMem)}
+	for wi, w := range ws {
+		w.block = b
+		w.base = wi * s.cfg.WarpWidth
+		w.valid = 0
+		w.atBarrier = false
+		w.lastIssue = -1
+		if cap(w.regs) < s.cfg.WarpWidth {
+			w.regs = make([]exec.Regs, s.cfg.WarpWidth)
+			w.envs = make([]exec.Env, s.cfg.WarpWidth)
+		}
+		w.regs = w.regs[:s.cfg.WarpWidth]
+		w.envs = w.envs[:s.cfg.WarpWidth]
+		if w.laneOf == nil {
+			w.laneOf = s.cfg.Shuffle.Permutation(w.id, s.cfg.WarpWidth, s.cfg.NumWarps)
+		}
+		for t := 0; t < s.cfg.WarpWidth; t++ {
+			tid := w.base + t
+			w.regs[t] = exec.Regs{}
+			if tid >= s.launch.BlockDim {
+				continue
+			}
+			w.valid |= 1 << uint(t)
+			w.envs[t] = exec.Env{
+				Tid:    uint32(tid),
+				NTid:   uint32(s.launch.BlockDim),
+				Ctaid:  uint32(cta),
+				NCta:   uint32(s.launch.GridDim),
+				Params: &s.launch.Params,
+			}
+		}
+		if s.cfg.usesHeap() {
+			w.heap = reconv.NewHeap(w.valid, s.cfg.CCTCap)
+			w.stack = nil
+		} else {
+			w.stack = reconv.NewStack(w.valid)
+			w.heap = nil
+		}
+	}
+	s.blocks = append(s.blocks, b)
+}
+
+// releaseBarriers opens block barriers once every live warp arrived.
+func (s *SM) releaseBarriers() {
+	for _, b := range s.blocks {
+		if !b.barrierReady() {
+			continue
+		}
+		for _, w := range b.warps {
+			if w.done() || !w.atBarrier {
+				continue
+			}
+			w.atBarrier = false
+			if w.heap != nil {
+				if c := w.heap.Slot(0); c != nil {
+					next := c.PC + 1
+					s.mutateHeap(w, func() { w.heap.Advance(0, next, s.now) })
+				}
+			} else {
+				w.stack.Advance()
+			}
+		}
+	}
+}
+
+// mutateHeap wraps a heap mutation with the slot-transition update of
+// the dependency-matrix scoreboard (§3.4). Composing one transition per
+// mutation is equivalent to the hardware's one matrix per cycle, and
+// keeps the rows consistent with slot numbering for intra-cycle
+// secondary scheduling.
+func (s *SM) mutateHeap(w *warp, f func()) {
+	if s.sb.Mode() != sched.DepMatrix {
+		f()
+		return
+	}
+	pre := w.heap.SlotMasks()
+	f()
+	s.sb.Transition(w.id, sched.Transition(pre, w.heap.SlotMasks()))
+}
+
+// cycle performs one scheduling cycle: every pool issues a primary
+// instruction, then the secondary slot (if the architecture has one)
+// fills the gap per §3/§4.
+func (s *SM) cycle() error {
+	if s.cfg.Arch == ArchBaseline {
+		for pool := 0; pool < s.cfg.pools(); pool++ {
+			if c := s.selectPrimary(pool); c != nil {
+				if err := s.issue(c, false, provNone); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	prim := s.selectPrimary(0)
+	if prim == nil {
+		// No primary: the secondary scheduler substitutes itself (§4),
+		// searching one buddy set selected round-robin.
+		if s.cfg.Arch == ArchSWI || s.cfg.Arch == ArchSBISWI {
+			set := int(s.now) % s.lookup.NumSets()
+			if c := s.bestSWICandidate(s.lookup.SetWarps(set), nil, isa.UnitCTRL, 0); c != nil {
+				return s.issue(c, true, provSWI)
+			}
+		}
+		return nil
+	}
+
+	// Snapshot the other hot split before the primary issue mutates the
+	// heap: the hardware's two front-ends select from the same
+	// cycle-start instruction-buffer state.
+	pw := prim.w
+	primPC, primMask, primIns := prim.pc, prim.mask, prim.ins
+	var secPC int
+	var secMask uint64
+	haveSec := false
+	if s.cfg.hotSlots() == 2 && pw.heap != nil {
+		other := 1 - prim.slot
+		if pw.heap.Eligible(other) {
+			if c2 := pw.heap.Slot(other); c2 != nil && c2.LastIssue < s.now {
+				secPC, secMask, haveSec = c2.PC, c2.Mask, true
+			}
+		}
+	}
+
+	if err := s.issue(prim, false, provNone); err != nil {
+		return err
+	}
+	if !s.cfg.hasSecondary() {
+		return nil
+	}
+
+	// (a) SBI: the warp's own secondary split, if it survived the
+	// primary's heap mutation un-merged.
+	if haveSec {
+		if c := s.sbiCandidate(pw, secPC, secMask, s.divergenceCapable(primIns)); c != nil {
+			return s.issue(c, true, provSBI)
+		}
+	}
+	// (b) SWI: another warp from the buddy set.
+	if s.cfg.Arch == ArchSWI || s.cfg.Arch == ArchSBISWI {
+		primLane := pw.laneMask(primMask)
+		if c := s.bestSWICandidate(s.lookup.Candidates(pw.id), pw, primIns.Op.Unit(), primLane); c != nil {
+			return s.issue(c, true, provSWI)
+		}
+	}
+	// (c) Sequential fallback: next instruction of the primary split to
+	// a distinct unit group.
+	if s.cfg.Arch == ArchSBI || s.cfg.Arch == ArchSBISWI {
+		if c := s.seqCandidate(pw, primIns, primPC, primMask); c != nil {
+			return s.issue(c, true, provSeq)
+		}
+	}
+	return nil
+}
+
+// prov is the provenance of a secondary issue, for statistics.
+type prov uint8
+
+const (
+	provNone prov = iota
+	provSBI
+	provSWI
+	provSeq
+)
+
+// primarySlot returns the hot slot the primary front-end follows for a
+// warp: the minimal-PC context, falling through to the next one when it
+// is architecturally suspended (parked at a partial barrier or waiting
+// on a selective synchronization barrier).
+func (s *SM) primarySlot(w *warp) int {
+	if w.heap == nil {
+		return 0
+	}
+	if w.heap.Suspended(0) {
+		return 1
+	}
+	return 0
+}
+
+// selectPrimary picks the least-recently-issued ready (warp, split) in
+// the pool (oldest-first, §2). pool is a parity filter for the baseline
+// and 0 for single-pool architectures.
+func (s *SM) selectPrimary(pool int) *candidate {
+	var best *candidate
+	var bestAge int64
+	for _, w := range s.warps {
+		if w.block == nil || w.done() || w.atBarrier {
+			continue
+		}
+		if s.cfg.pools() == 2 && w.id%2 != pool {
+			continue
+		}
+		slot := s.primarySlot(w)
+		c := s.eligible(w, slot)
+		if c == nil {
+			continue
+		}
+		age := s.lastIssueOf(w, slot)
+		if best == nil || age < bestAge {
+			best, bestAge = c, age
+		}
+	}
+	return best
+}
+
+// lastIssueOf returns the age key used for oldest-first selection.
+func (s *SM) lastIssueOf(w *warp, slot int) int64 {
+	if w.heap != nil {
+		if c := w.heap.Slot(slot); c != nil {
+			return c.LastIssue
+		}
+	}
+	return w.lastIssue
+}
+
+// eligible builds the candidate for (warp, slot) if it can issue now:
+// the split exists and is not suspended, it has not issued this cycle,
+// its dependencies cleared IssueDelay cycles ago, and its target unit
+// has capacity.
+func (s *SM) eligible(w *warp, slot int) *candidate {
+	var pc int
+	var mask uint64
+	if w.heap != nil {
+		if !w.heap.Eligible(slot) {
+			return nil
+		}
+		c := w.heap.Slot(slot)
+		if c == nil || c.LastIssue >= s.now {
+			return nil
+		}
+		pc, mask = c.PC, c.Mask
+	} else {
+		var ok bool
+		pc, mask, ok = w.stack.Active()
+		if !ok || w.lastIssue >= s.now {
+			return nil
+		}
+	}
+	return s.finishCandidate(w, slot, pc, mask)
+}
+
+// finishCandidate applies the scoreboard and unit checks shared by all
+// schedulers.
+func (s *SM) finishCandidate(w *warp, slot int, pc int, mask uint64) *candidate {
+	ins := s.prog.At(pc)
+	qnow := s.now - s.cfg.IssueDelay
+	s.srcBuf = ins.SrcRegs(s.srcBuf[:0])
+	if s.sb.ReadyAt(w.id, ins, s.srcBuf, slot, mask, qnow) > qnow {
+		return nil
+	}
+	lane := w.laneMask(mask)
+	if !s.units.canIssue(ins.Op.Unit(), lane, s.now) {
+		return nil
+	}
+	return &candidate{w: w, slot: slot, pc: pc, mask: mask, lane: lane, ins: ins}
+}
+
+// divergenceCapable reports whether executing ins can create a new
+// warp-split: a conditional branch, or a global load when DWS-style
+// memory-divergence splitting is enabled. The HCT sorter accepts at
+// most one new split per warp per cycle (§3.4), so two such
+// instructions of one warp must not co-issue.
+func (s *SM) divergenceCapable(ins *isa.Instruction) bool {
+	return ins.Conditional() || (s.cfg.SplitOnMemDivergence && ins.Op == isa.OpLdG)
+}
+
+// sbiCandidate re-locates the snapshotted secondary split after the
+// primary issue. If it merged with the primary split (the primary
+// advanced into its PC) co-issue is skipped: the merged warp-split
+// issues whole next cycle. Any instruction class may issue from the
+// second front-end — including the SYNC a waiting split must execute
+// to evaluate its selective barrier — except that two
+// divergence-capable instructions of one warp cannot share a cycle.
+func (s *SM) sbiCandidate(w *warp, pc int, mask uint64, primDiverges bool) *candidate {
+	if w.heap == nil || w.atBarrier {
+		return nil
+	}
+	slot := -1
+	for i := 0; i < reconv.HotContexts; i++ {
+		if c := w.heap.Slot(i); c != nil && c.PC == pc && c.Mask == mask && c.LastIssue < s.now {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 || !w.heap.Eligible(slot) {
+		return nil
+	}
+	if primDiverges && s.divergenceCapable(s.prog.At(pc)) {
+		return nil
+	}
+	return s.finishCandidate(w, slot, pc, mask)
+}
+
+// seqCandidate dual-issues the next sequential instruction of the
+// just-issued primary split when it targets a different unit group and
+// its dependencies (including on the primary instruction itself, whose
+// scoreboard entry is already visible) allow.
+func (s *SM) seqCandidate(w *warp, primIns *isa.Instruction, primPC int, primMask uint64) *candidate {
+	if w.heap == nil || w.atBarrier || primIns.Op.Unit() == isa.UnitCTRL {
+		return nil
+	}
+	next := primPC + 1
+	if next >= s.prog.Len() {
+		return nil
+	}
+	// Locate the split: it advanced to next with the same mask (if it
+	// merged, was resorted away, or parked at the load under
+	// memory-divergence splitting, skip).
+	slot := -1
+	for i := 0; i < reconv.HotContexts; i++ {
+		if c := w.heap.Slot(i); c != nil && c.PC == next && c.Mask == primMask {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 || !w.heap.Eligible(slot) {
+		return nil
+	}
+	// The pair must target distinct unit groups; control instructions
+	// occupy no unit so they always qualify (the primary is never
+	// divergence-capable on this path, so a conditional branch is fine).
+	ins := s.prog.At(next)
+	if ins.Op.Unit() == primIns.Op.Unit() {
+		return nil
+	}
+	return s.finishCandidate(w, slot, next, primMask)
+}
+
+// bestSWICandidate searches the buddy warps for the best-fitting ready
+// instruction whose lane mask does not conflict with the primary issue:
+// disjoint masks when sharing the MAD row, any mask when targeting a
+// free distinct unit (§4). Best fit maximizes occupied lanes; ties
+// break pseudo-randomly.
+func (s *SM) bestSWICandidate(warpIDs []int, exclude *warp, primUnit isa.Unit, primLane uint64) *candidate {
+	var best []*candidate
+	bestFit := -1
+	for _, wid := range warpIDs {
+		w := s.warps[wid]
+		if w == exclude || w.block == nil || w.done() || w.atBarrier || w.heap == nil {
+			continue
+		}
+		slot := s.primarySlot(w)
+		if !w.heap.Eligible(slot) {
+			continue
+		}
+		c := w.heap.Slot(slot)
+		if c == nil || c.LastIssue >= s.now {
+			continue
+		}
+		ins := s.prog.At(c.PC)
+		unit := ins.Op.Unit()
+		lane := w.laneMask(c.Mask)
+		if unit == isa.UnitMAD && primUnit == isa.UnitMAD && lane&primLane != 0 {
+			continue // would collide on the shared row
+		}
+		cand := s.finishCandidate(w, slot, c.PC, c.Mask)
+		if cand == nil {
+			continue
+		}
+		fit := popcount(lane)
+		switch {
+		case fit > bestFit:
+			best, bestFit = append(best[:0], cand), fit
+		case fit == bestFit:
+			best = append(best, cand)
+		}
+	}
+	switch len(best) {
+	case 0:
+		return nil
+	case 1:
+		return best[0]
+	default:
+		return best[s.rng.Intn(len(best))]
+	}
+}
+
+// issue commits a candidate: functional execution, timing bookkeeping,
+// and control-state mutation.
+func (s *SM) issue(c *candidate, secondary bool, p prov) error {
+	w, ins := c.w, c.ins
+	active := popcount(c.mask)
+
+	s.stats.IssueSlots++
+	if secondary {
+		s.stats.SecondaryIssues++
+		switch p {
+		case provSBI:
+			s.stats.SBIPairs++
+		case provSWI:
+			s.stats.SWIPairs++
+		case provSeq:
+			s.stats.SeqPairs++
+		}
+	} else {
+		s.stats.PrimaryIssues++
+	}
+	if s.trace != nil {
+		s.trace.add(IssueEvent{
+			Cycle: s.now, Warp: w.id, Slot: boolInt(secondary),
+			PC: c.pc, Mask: c.mask, Lane: c.lane, Op: ins.Op, Unit: ins.Op.Unit(),
+		})
+	}
+	s.markIssued(w, c.slot)
+
+	switch {
+	case ins.Op == isa.OpSync:
+		s.stats.SyncThreadInstrs += uint64(active)
+		s.execSync(c)
+	case ins.Op == isa.OpNop:
+		s.advance(c, c.pc+1)
+	case ins.Op == isa.OpExit:
+		s.countInstr(ins, active)
+		s.execExit(c)
+	case ins.Op == isa.OpBar:
+		s.countInstr(ins, active)
+		if err := s.execBar(c); err != nil {
+			return err
+		}
+	case ins.Op == isa.OpBra:
+		s.countInstr(ins, active)
+		s.execBranch(c)
+	case ins.Op.IsMemory():
+		s.countInstr(ins, active)
+		return s.execMem(c)
+	default:
+		s.countInstr(ins, active)
+		s.units.issue(ins.Op.Unit(), c.lane, s.now)
+		s.execALU(c)
+	}
+	return nil
+}
+
+func (s *SM) countInstr(ins *isa.Instruction, active int) {
+	s.stats.ThreadInstrs += uint64(active)
+	s.stats.UnitThreadInstrs[ins.Op.Unit()] += uint64(active)
+}
+
+// markIssued stamps the split's issue guard.
+func (s *SM) markIssued(w *warp, slot int) {
+	if w.heap != nil {
+		if c := w.heap.Slot(slot); c != nil {
+			c.LastIssue = s.now
+		}
+		return
+	}
+	w.lastIssue = s.now
+}
+
+// advance moves the candidate's split to nextPC.
+func (s *SM) advance(c *candidate, nextPC int) {
+	if c.w.heap != nil {
+		s.mutateHeap(c.w, func() { c.w.heap.Advance(c.slot, nextPC, s.now) })
+		return
+	}
+	if nextPC == c.pc+1 {
+		c.w.stack.Advance()
+	} else {
+		c.w.stack.Jump(nextPC)
+	}
+}
+
+// execALU evaluates a MAD- or SFU-class instruction for the active
+// threads and schedules its writeback.
+func (s *SM) execALU(c *candidate) {
+	w, ins := c.w, c.ins
+	for m := c.mask; m != 0; m &= m - 1 {
+		t := bits.TrailingZeros64(m)
+		w.regs[t][ins.Dst] = exec.EvalALU(ins, &w.regs[t], &w.envs[t])
+	}
+	s.sb.Issue(w.id, ins, c.slot, c.mask, s.now+s.cfg.ExecLatency)
+	s.advance(c, c.pc+1)
+}
+
+// execBranch resolves a branch; a divergent outcome is the cycle's
+// single warp-split creation event.
+func (s *SM) execBranch(c *candidate) {
+	w, ins := c.w, c.ins
+	if ins.SrcA == isa.RegNone {
+		s.advance(c, ins.Target)
+		return
+	}
+	var taken uint64
+	for m := c.mask; m != 0; m &= m - 1 {
+		t := bits.TrailingZeros64(m)
+		if exec.BranchTaken(ins, &w.regs[t]) {
+			taken |= 1 << uint(t)
+		}
+	}
+	switch {
+	case taken == c.mask:
+		s.advance(c, ins.Target)
+	case taken == 0:
+		s.advance(c, c.pc+1)
+	default:
+		s.stats.Divergences++
+		if w.heap != nil {
+			s.mutateHeap(w, func() { w.heap.Diverge(c.pc, ins.Target, c.pc+1, taken, s.now) })
+		} else {
+			w.stack.Diverge(c.pc, ins.Target, ins.RecPC, taken)
+		}
+	}
+}
+
+// execSync applies the selective synchronization barrier (§3.3).
+func (s *SM) execSync(c *candidate) {
+	w := c.w
+	if w.heap != nil && s.cfg.Constraints && w.heap.SyncBlockedAt(c.slot, c.ins.Target) {
+		s.stats.SyncWaits++
+		w.heap.Wait(c.slot, c.ins.Target)
+		return
+	}
+	s.advance(c, c.pc+1)
+}
+
+// execExit retires the split's threads.
+func (s *SM) execExit(c *candidate) {
+	if c.w.heap != nil {
+		s.mutateHeap(c.w, func() { c.w.heap.Exit(c.slot, s.now) })
+		return
+	}
+	c.w.stack.Exit(c.mask)
+}
+
+// execBar handles the block barrier: a full-warp split joins the block
+// rendezvous; a partial split parks until reconvergence completes it
+// (only possible under the heap model — the stack guarantees
+// reconvergence before the barrier for structured code).
+func (s *SM) execBar(c *candidate) error {
+	w := c.w
+	s.stats.BarrierWaits++
+	if w.heap != nil {
+		if c.mask == w.heap.Alive() {
+			w.atBarrier = true
+			return nil
+		}
+		w.heap.Park(c.slot) // masks unchanged: no scoreboard transition
+		return nil
+	}
+	if alive := w.stack.Alive(); c.mask != alive {
+		return fmt.Errorf("sm: %s: pc %d: divergent barrier (mask %#x, alive %#x)",
+			s.prog.Name, c.pc, c.mask, alive)
+	}
+	w.atBarrier = true
+	return nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

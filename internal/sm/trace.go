@@ -1,0 +1,102 @@
+package sm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// IssueEvent records one scheduler issue for pipeline visualization
+// (the figure-2 comparison of SIMT / SBI / SWI pipeline contents).
+type IssueEvent struct {
+	Cycle int64
+	Slot  int // 0 = primary, 1 = secondary
+	Warp  int
+	PC    int
+	Mask  uint64 // thread mask
+	Lane  uint64 // lane mask after shuffling
+	Op    isa.Opcode
+	Unit  isa.Unit
+}
+
+// Trace is a bounded issue-event recording.
+type Trace struct {
+	Events  []IssueEvent
+	Dropped int
+	cap     int
+}
+
+func (t *Trace) add(e IssueEvent) {
+	if len(t.Events) >= t.cap {
+		t.Dropped++
+		return
+	}
+	t.Events = append(t.Events, e)
+}
+
+// Render formats the trace as a cycle-by-cycle table: one line per
+// cycle, one column per issue slot, each cell "w<warp>@<pc> op mask".
+func (t *Trace) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s  %-32s %-32s\n", "cycle", "primary", "secondary")
+	var cells [2]string
+	cur := int64(-1)
+	flush := func() {
+		if cur >= 0 {
+			fmt.Fprintf(&b, "%6d  %-32s %-32s\n", cur, cells[0], cells[1])
+		}
+		cells[0], cells[1] = "", ""
+	}
+	for _, e := range t.Events {
+		if e.Cycle != cur {
+			flush()
+			cur = e.Cycle
+		}
+		cells[e.Slot] = fmt.Sprintf("w%d@%-3d %-5s %s mask=%x", e.Warp, e.PC, e.Op, e.Unit, e.Mask)
+	}
+	flush()
+	if t.Dropped > 0 {
+		fmt.Fprintf(&b, "... %d further events dropped\n", t.Dropped)
+	}
+	return b.String()
+}
+
+// Lanes renders a lane-occupancy strip per cycle: for each cycle one
+// row of width characters, '.' for an idle lane, '1' for the primary
+// instruction's lanes and '2' for the secondary's — the visual language
+// of the paper's figure 2.
+func (t *Trace) Lanes(width int) string {
+	var b strings.Builder
+	row := make([]byte, width)
+	cur := int64(-1)
+	clear := func() {
+		for i := range row {
+			row[i] = '.'
+		}
+	}
+	flush := func() {
+		if cur >= 0 {
+			fmt.Fprintf(&b, "%6d  %s\n", cur, row)
+		}
+		clear()
+	}
+	clear()
+	for _, e := range t.Events {
+		if e.Cycle != cur {
+			flush()
+			cur = e.Cycle
+		}
+		mark := byte('1')
+		if e.Slot == 1 {
+			mark = '2'
+		}
+		for l := 0; l < width && l < 64; l++ {
+			if e.Lane&(1<<uint(l)) != 0 {
+				row[l] = mark
+			}
+		}
+	}
+	flush()
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package sm
+
+import (
+	"math/bits"
+
+	"repro/internal/isa"
+)
+
+// units tracks back-end execution resource occupancy. MAD groups are
+// fully pipelined (one warp instruction per group per cycle); the SFU
+// and LSU are narrower than a warp and stay busy for one cycle per wave
+// (SFU) or per memory transaction (LSU).
+type units struct {
+	cfg *Config
+
+	madFree []int64 // per-group busy-until cycle (exclusive)
+
+	// Row sharing (CoIssueMAD): lanes of the MAD row already claimed in
+	// cycle rowCycle. Two disjoint-mask instructions may share the row.
+	rowCycle int64
+	rowMask  uint64
+
+	sfuFree int64
+	lsuFree int64
+}
+
+func newUnits(cfg *Config) *units {
+	return &units{cfg: cfg, madFree: make([]int64, cfg.MADGroups), rowCycle: -1}
+}
+
+// sfuWaves returns the SFU occupancy in cycles for a lane mask: the
+// number of SFU-width lane groups containing at least one active lane.
+func (u *units) sfuWaves(laneMask uint64) int64 {
+	waves := int64(0)
+	per := uint(u.cfg.SFUWidth)
+	for lo := uint(0); lo < uint(u.cfg.WarpWidth); lo += per {
+		if laneMask>>lo&(1<<per-1) != 0 {
+			waves++
+		}
+	}
+	if waves == 0 {
+		waves = 1
+	}
+	return waves
+}
+
+// canIssue reports whether an instruction of the given unit class with
+// laneMask can start at cycle now, considering already-issued
+// instructions this cycle.
+func (u *units) canIssue(unit isa.Unit, laneMask uint64, now int64) bool {
+	switch unit {
+	case isa.UnitCTRL:
+		return true
+	case isa.UnitMAD:
+		for _, f := range u.madFree {
+			if f <= now {
+				return true
+			}
+		}
+		// All groups taken this cycle: row sharing may still fit.
+		return u.cfg.CoIssueMAD && u.rowCycle == now && u.rowMask&laneMask == 0
+	case isa.UnitSFU:
+		return u.sfuFree <= now
+	default: // LSU
+		return u.lsuFree <= now
+	}
+}
+
+// issue reserves the unit. For the LSU the caller reserves separately
+// via issueLSU once the transaction count is known.
+func (u *units) issue(unit isa.Unit, laneMask uint64, now int64) {
+	switch unit {
+	case isa.UnitCTRL:
+		return
+	case isa.UnitMAD:
+		for g := range u.madFree {
+			if u.madFree[g] <= now {
+				u.madFree[g] = now + 1
+				if u.cfg.CoIssueMAD {
+					if u.rowCycle == now {
+						u.rowMask |= laneMask
+					} else {
+						u.rowCycle, u.rowMask = now, laneMask
+					}
+				}
+				return
+			}
+		}
+		// Row sharing (canIssue guaranteed disjointness).
+		u.rowMask |= laneMask
+	case isa.UnitSFU:
+		u.sfuFree = now + u.sfuWaves(laneMask)
+	}
+}
+
+// issueLSU reserves the load-store unit for txns transactions.
+func (u *units) issueLSU(txns int64, now int64) {
+	if txns < 1 {
+		txns = 1
+	}
+	u.lsuFree = now + txns
+}
+
+// lsuWaves returns the number of LSU-width thread groups of a warp with
+// at least one active thread (waves are formed in thread order, since
+// the LSU coalesces by thread addresses).
+func (u *units) lsuWaves(mask uint64) int {
+	waves := 0
+	per := uint(u.cfg.LSUWidth)
+	for lo := uint(0); lo < uint(u.cfg.WarpWidth); lo += per {
+		if mask>>lo&waveMask(per) != 0 {
+			waves++
+		}
+	}
+	return waves
+}
+
+// waveMask returns a mask of `per` low bits (handles per == 64).
+func waveMask(per uint) uint64 {
+	if per >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<per - 1
+}
+
+// popcount is a readability alias.
+func popcount(m uint64) int { return bits.OnesCount64(m) }

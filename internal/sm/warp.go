@@ -1,0 +1,91 @@
+package sm
+
+import (
+	"math/bits"
+
+	"repro/internal/exec"
+	"repro/internal/reconv"
+)
+
+// block is one resident thread block.
+type block struct {
+	cta    int
+	warps  []*warp
+	shared []byte
+}
+
+// liveWarps counts warps with unfinished threads.
+func (b *block) liveWarps() int {
+	n := 0
+	for _, w := range b.warps {
+		if !w.done() {
+			n++
+		}
+	}
+	return n
+}
+
+// barrierReady reports whether every live warp has arrived at the block
+// barrier.
+func (b *block) barrierReady() bool {
+	live := 0
+	for _, w := range b.warps {
+		if w.done() {
+			continue
+		}
+		live++
+		if !w.atBarrier {
+			return false
+		}
+	}
+	return live > 0
+}
+
+// warp is one resident warp's architectural and micro-architectural
+// state. Exactly one of stack/heap is non-nil, per the configuration.
+type warp struct {
+	id    int // SM-local warp index (also the scoreboard index)
+	block *block
+	base  int // first thread index within the block
+
+	valid uint64
+	regs  []exec.Regs
+	envs  []exec.Env
+
+	stack *reconv.Stack
+	heap  *reconv.Heap
+
+	// laneOf maps tid -> physical lane under the configured shuffle.
+	laneOf []int
+
+	// atBarrier marks a warp whose full-mask split issued BAR and now
+	// waits for the rest of the block.
+	atBarrier bool
+
+	// lastIssue is the warp-level issue guard for the stack model (the
+	// heap model tracks it per context).
+	lastIssue int64
+}
+
+// done reports whether all of the warp's threads exited (an unallocated
+// warp is done).
+func (w *warp) done() bool {
+	switch {
+	case w.block == nil:
+		return true
+	case w.heap != nil:
+		return w.heap.Done()
+	default:
+		return w.stack.Done()
+	}
+}
+
+// laneMask transposes a thread mask into lane space.
+func (w *warp) laneMask(mask uint64) uint64 {
+	var out uint64
+	for m := mask; m != 0; m &= m - 1 {
+		tid := bits.TrailingZeros64(m)
+		out |= 1 << uint(w.laneOf[tid])
+	}
+	return out
+}

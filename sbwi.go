@@ -1,0 +1,150 @@
+package sbwi
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/exec"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/sched"
+	"repro/internal/sm"
+)
+
+// Core type aliases: the public API surface of the library.
+type (
+	// Program is an assembled kernel.
+	Program = isa.Program
+	// Launch binds a program to a grid, parameters and global memory.
+	Launch = exec.Launch
+	// Config is a full micro-architecture configuration (paper table 2).
+	Config = sm.Config
+	// Arch selects one of the modeled micro-architectures.
+	Arch = sm.Arch
+	// Stats aggregates one simulation (IPC, issues, divergence, memory).
+	Stats = sm.Stats
+	// Result is a finished simulation: statistics plus optional trace.
+	Result = sm.Result
+	// Trace is a bounded issue-event recording for visualization.
+	Trace = sm.Trace
+	// Shuffle is a static lane-shuffling policy (paper table 1).
+	Shuffle = sched.Shuffle
+	// Benchmark is one entry of the paper's 21-kernel suite.
+	Benchmark = kernels.Benchmark
+	// ExperimentTable is a rendered experiment (text or CSV).
+	ExperimentTable = experiments.Table
+)
+
+// The modeled architectures (figure 7).
+const (
+	Baseline = sm.ArchBaseline
+	SBI      = sm.ArchSBI
+	SWI      = sm.ArchSWI
+	SBISWI   = sm.ArchSBISWI
+	Warp64   = sm.ArchWarp64
+)
+
+// Lane shuffling policies (paper table 1).
+const (
+	Identity   = sched.ShuffleIdentity
+	MirrorOdd  = sched.ShuffleMirrorOdd
+	MirrorHalf = sched.ShuffleMirrorHalf
+	Xor        = sched.ShuffleXor
+	XorRev     = sched.ShuffleXorRev
+)
+
+// FullyAssociative selects the unrestricted SWI secondary lookup.
+const FullyAssociative = sched.AssocFull
+
+// Assemble parses mini-ISA source and annotates every conditional
+// branch with its reconvergence PC, ready for the baseline (stack)
+// architecture. Use ThreadFrontier for the SBI/SWI program variant.
+func Assemble(name, src string) (*Program, error) {
+	p, err := asm.Assemble(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.AnnotateReconvergence(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ThreadFrontier returns a copy of p instrumented with the selective
+// synchronization SYNC barriers of paper §3.3, the program variant the
+// thread-frontier architectures (SBI, SWI, SBI+SWI, Warp64) execute.
+func ThreadFrontier(p *Program) (*Program, error) {
+	return cfg.InsertSyncs(p)
+}
+
+// Architectures lists the modeled architectures in figure-7 order.
+func Architectures() []Arch { return sm.Architectures() }
+
+// Configure returns the paper's table-2 configuration for an
+// architecture. The result can be adjusted before Run (constraints,
+// shuffle policy, lookup associativity, memory geometry...).
+func Configure(a Arch) Config { return sm.Configure(a) }
+
+// NewLaunch builds a launch. Params are byte offsets or scalar values
+// the kernel reads via %p0..%p15.
+func NewLaunch(p *Program, grid, block int, global []byte, params ...uint32) *Launch {
+	l := &Launch{Prog: p, GridDim: grid, BlockDim: block, Global: global}
+	for i, v := range params {
+		if i >= len(l.Params) {
+			break
+		}
+		l.Params[i] = v
+	}
+	return l
+}
+
+// Run simulates the launch to completion on one SM and returns the
+// statistics (and the issue trace when cfg.TraceCap is set). Global
+// memory is mutated in place.
+func Run(cfg Config, l *Launch) (*Result, error) { return sm.Run(cfg, l) }
+
+// RunReference executes the launch on the functional reference
+// simulator (stack-based, warpWidth-wide warps) — the architectural
+// oracle for kernel development.
+func RunReference(l *Launch, warpWidth int) error {
+	_, err := exec.RunReference(l, warpWidth)
+	return err
+}
+
+// Verify runs a launch functionally on a copy and compares the final
+// global memory against a second copy run under cfg, returning an
+// error on any mismatch. It is a convenience for validating custom
+// kernels on every architecture.
+func Verify(cfg Config, l *Launch) error {
+	ref := l.CloneGlobal()
+	if _, err := exec.RunReference(ref, 32); err != nil {
+		return fmt.Errorf("sbwi: reference: %w", err)
+	}
+	cyc := l.CloneGlobal()
+	if _, err := sm.Run(cfg, cyc); err != nil {
+		return fmt.Errorf("sbwi: %v: %w", cfg.Arch, err)
+	}
+	for i := range ref.Global {
+		if ref.Global[i] != cyc.Global[i] {
+			return fmt.Errorf("sbwi: %v: memory differs from reference at byte %d", cfg.Arch, i)
+		}
+	}
+	return nil
+}
+
+// Benchmarks returns the paper's evaluation suite (10 regular + 11
+// irregular kernels), each with deterministic inputs and a Go oracle.
+func Benchmarks() []*Benchmark { return kernels.All() }
+
+// BenchmarkByName finds a suite kernel.
+func BenchmarkByName(name string) (*Benchmark, bool) { return kernels.ByName(name) }
+
+// NewExperiments creates a memoizing experiment runner that regenerates
+// the paper's tables and figures; see ExperimentNames.
+func NewExperiments() *experiments.Runner { return experiments.NewRunner() }
+
+// ExperimentNames lists the runnable experiments (fig7a..fig9,
+// table2..table4).
+func ExperimentNames() []string { return experiments.Experiments }
