@@ -11,6 +11,8 @@ package sbwi
 // EXPERIMENTS.md records the paper-versus-measured comparison.
 
 import (
+	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/area"
@@ -207,6 +209,49 @@ func BenchmarkAblationMemSplit(b *testing.B) {
 		}
 		b.ReportMetric(lastRowCell(t, 0), "split-speedup")
 	}
+}
+
+// BenchmarkSuiteRunner compares the serial seed-style suite loop (one
+// sm.Run per benchmark, oracle-checked, in order) against the device
+// batch runner, which fans the same oracle-checked simulations out
+// across the worker pool. On a multi-core host the device runner's
+// wall-clock (ns/op) drops roughly with the core count; per-kernel
+// statistics are bit-identical between the two.
+func BenchmarkSuiteRunner(b *testing.B) {
+	suite := Benchmarks()
+	b.Run("serial-seed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, bench := range suite {
+				l, err := bench.NewLaunch(true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Run(Configure(SBI), l); err != nil {
+					b.Fatal(err)
+				}
+				if !bytes.Equal(l.Global, bench.Expected()) {
+					b.Fatalf("%s diverged from reference", bench.Name)
+				}
+			}
+		}
+	})
+	b.Run("device-parallel", func(b *testing.B) {
+		dev, err := NewDevice(WithArch(SBI))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			results, err := dev.RunSuite(context.Background(), suite)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range results {
+				if r.Err != nil {
+					b.Fatalf("%s: %v", r.Bench.Name, r.Err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkKernel provides per-kernel micro-benchmarks of the cycle

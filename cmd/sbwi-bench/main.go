@@ -1,11 +1,13 @@
 // Command sbwi-bench regenerates the paper's evaluation: every figure
-// and table of §5.
+// and table of §5. Simulations fan out across the host's cores through
+// the device engine's suite runner.
 //
 // Usage:
 //
 //	sbwi-bench                 # run everything, print text tables
 //	sbwi-bench -exp fig7b      # one experiment
 //	sbwi-bench -exp fig9 -csv  # CSV output
+//	sbwi-bench -workers 4      # bound the simulation worker pool
 //	sbwi-bench -v              # per-simulation progress on stderr
 package main
 
@@ -21,10 +23,12 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: "+strings.Join(sbwi.ExperimentNames(), ", ")+", or all")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	workers := flag.Int("workers", 0, "host worker-pool bound (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "log each simulation to stderr")
 	flag.Parse()
 
 	r := sbwi.NewExperiments()
+	r.Workers = *workers
 	if *verbose {
 		r.Progress = os.Stderr
 	}

@@ -3,13 +3,16 @@
 // Usage:
 //
 //	sbwi list
-//	sbwi run -kernel MatrixMul [-arch SBI+SWI] [-all]
+//	sbwi run -kernel MatrixMul [-arch SBI+SWI] [-all] [-json]
+//	sbwi run -kernel BFS -sms 4 -partition
 //	sbwi run -file kernel.asm -grid 4 -block 256 -global 65536 [-param N]...
 //	sbwi disasm -kernel BFS [-tf]
 //	sbwi pipeline-demo
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -86,12 +89,26 @@ func (p *uintList) Set(s string) error {
 	return nil
 }
 
+// runReport is the -json output for one simulation.
+type runReport struct {
+	Kernel       string      `json:"kernel"`
+	Arch         string      `json:"arch"`
+	SMs          int         `json:"sms"`
+	IPC          float64     `json:"ipc"`
+	DeviceCycles int64       `json:"deviceCycles"`
+	Stats        *sbwi.Stats `json:"stats"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	kernel := fs.String("kernel", "", "built-in benchmark name (see `sbwi list`)")
 	file := fs.String("file", "", "assemble and run this .asm file instead")
 	archName := fs.String("arch", "SBI+SWI", "architecture")
 	all := fs.Bool("all", false, "run on every architecture")
+	sms := fs.Int("sms", 1, "number of simulated SMs")
+	partition := fs.Bool("partition", false, "partition the grid across the SMs (CTA waves)")
+	workers := fs.Int("workers", 0, "host worker-pool bound (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit the merged statistics as JSON")
 	grid := fs.Int("grid", 4, "grid dimension (with -file)")
 	block := fs.Int("block", 256, "block dimension (with -file)")
 	globalBytes := fs.Int("global", 1<<16, "global memory bytes (with -file)")
@@ -112,25 +129,36 @@ func run(args []string) error {
 		archs = append(archs, a)
 	}
 
-	fmt.Printf("%-10s %10s %8s %10s %10s %8s %8s\n",
-		"arch", "cycles", "IPC", "issues", "secondary", "diverge", "merges")
+	name := *kernel
+	if name == "" {
+		name = *file
+	}
+
+	var reports []runReport
+	if !*jsonOut {
+		fmt.Printf("%-10s %10s %8s %10s %10s %8s %8s\n",
+			"arch", "cycles", "IPC", "issues", "secondary", "diverge", "merges")
+	}
 	for _, a := range archs {
-		var stats *sbwi.Stats
+		dev, err := sbwi.NewDevice(
+			sbwi.WithArch(a),
+			sbwi.WithSMs(*sms),
+			sbwi.WithGridPartition(*partition),
+			sbwi.WithWorkers(*workers),
+		)
+		if err != nil {
+			return err
+		}
+		var l *sbwi.Launch
 		switch {
 		case *kernel != "":
 			b, ok := sbwi.BenchmarkByName(*kernel)
 			if !ok {
 				return fmt.Errorf("unknown kernel %q", *kernel)
 			}
-			l, err := b.NewLaunch(a != sbwi.Baseline)
-			if err != nil {
+			if l, err = b.NewLaunch(a != sbwi.Baseline); err != nil {
 				return err
 			}
-			res, err := sbwi.Run(sbwi.Configure(a), l)
-			if err != nil {
-				return err
-			}
-			stats = &res.Stats
 		case *file != "":
 			src, err := os.ReadFile(*file)
 			if err != nil {
@@ -146,18 +174,34 @@ func run(args []string) error {
 					return err
 				}
 			}
-			l := sbwi.NewLaunch(p, *grid, *block, make([]byte, *globalBytes), params...)
-			res, err := sbwi.Run(sbwi.Configure(a), l)
-			if err != nil {
-				return err
+			if max := len(sbwi.Launch{}.Params); len(params) > max {
+				return fmt.Errorf("%d -param flags exceed the ISA's %d kernel parameters (%%p0..%%p%d)",
+					len(params), max, max-1)
 			}
-			stats = &res.Stats
+			l = sbwi.NewLaunch(p, *grid, *block, make([]byte, *globalBytes), params...)
 		default:
 			return fmt.Errorf("need -kernel or -file")
+		}
+		res, err := dev.Run(context.Background(), l)
+		if err != nil {
+			return err
+		}
+		stats := &res.Stats
+		if *jsonOut {
+			reports = append(reports, runReport{
+				Kernel: name, Arch: a.String(), SMs: *sms,
+				IPC: stats.IPC(), DeviceCycles: res.DeviceCycles(), Stats: stats,
+			})
+			continue
 		}
 		fmt.Printf("%-10s %10d %8.2f %10d %10d %8d %8d\n",
 			a, stats.Cycles, stats.IPC(), stats.IssueSlots, stats.SecondaryIssues,
 			stats.Divergences, stats.Merges)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
 	}
 	return nil
 }
@@ -216,13 +260,16 @@ join:
 		if a == sbwi.Baseline {
 			p = prog
 		}
-		cfg := sbwi.Configure(a)
-		cfg.TraceCap = 256
-		l := sbwi.NewLaunch(p, 1, 128, make([]byte, 128*4), 0)
-		res, err := sbwi.Run(cfg, l)
+		dev, err := sbwi.NewDevice(sbwi.WithArch(a), sbwi.WithTrace(256))
 		if err != nil {
 			return err
 		}
+		l := sbwi.NewLaunch(p, 1, 128, make([]byte, 128*4), 0)
+		res, err := dev.Run(context.Background(), l)
+		if err != nil {
+			return err
+		}
+		cfg := dev.Config()
 		fmt.Printf("--- %s (IPC %.1f, %d cycles) ---\n", a, res.Stats.IPC(), res.Stats.Cycles)
 		fmt.Print(res.Trace.Lanes(cfg.WarpWidth))
 		fmt.Println()

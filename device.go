@@ -1,0 +1,38 @@
+package sbwi
+
+import (
+	"repro/internal/device"
+)
+
+// Device is the primary entry point of the library: an N-SM simulation
+// engine configured once with functional options and then used for any
+// number of concurrent, cancellable runs.
+//
+//	dev, err := sbwi.NewDevice(
+//		sbwi.WithArch(sbwi.SBISWI),
+//		sbwi.WithSMs(16),
+//		sbwi.WithGridPartition(true),
+//	)
+//	res, err := dev.Run(ctx, launch)
+//
+// A Device is immutable after construction and safe for concurrent
+// use. Its two entry points are
+//
+//	Run(ctx, *Launch) (*Result, error)            — one launch
+//	RunSuite(ctx, []*Benchmark) ([]*SuiteResult, error) — a batch
+//
+// both context-aware and bounded by the device's worker pool. See the
+// package documentation for the execution model and the determinism
+// guarantees.
+type Device = device.Device
+
+// SuiteResult is one benchmark's outcome within Device.RunSuite: the
+// merged simulation result, or the error that stopped it (including
+// oracle mismatches — RunSuite validates every final memory image
+// against the benchmark's Go reference).
+type SuiteResult = device.SuiteResult
+
+// NewDevice builds a simulation device. The zero option set models a
+// single SBI+SWI SM with the paper's table-2 parameters; see the
+// With... options for everything that can be tuned.
+func NewDevice(opts ...Option) (*Device, error) { return device.New(opts...) }

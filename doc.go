@@ -28,6 +28,10 @@
 //
 // # Quick start
 //
+// Simulation runs through a Device: an engine configured once with
+// functional options, then used for any number of concurrent,
+// cancellable runs.
+//
 //	prog, _ := sbwi.Assemble("scale", `
 //		mov  r1, %tid
 //		shl  r2, r1, 2
@@ -39,9 +43,47 @@
 //		exit
 //	`)
 //	tf, _ := sbwi.ThreadFrontier(prog) // SYNC-instrumented variant
+//	dev, _ := sbwi.NewDevice(sbwi.WithArch(sbwi.SBISWI))
 //	launch := sbwi.NewLaunch(tf, 4, 256, make([]byte, 4096))
-//	res, _ := sbwi.Run(sbwi.Configure(sbwi.SBISWI), launch)
+//	res, _ := dev.Run(context.Background(), launch)
 //	fmt.Printf("IPC %.2f\n", res.Stats.IPC())
+//
+// # Scaling out
+//
+// The device's execution model separates three independent axes:
+//
+//   - WithSMs(n) sets the modeled hardware width. Together with
+//     WithGridPartition(true) it dispatches a launch's CTA waves across
+//     n independent SM instances; Result.DeviceCycles reports the
+//     modeled wall-clock under that packing.
+//   - WithWorkers(n) bounds host parallelism — how many SM simulations
+//     run concurrently on the host, across CTA waves and batch entries
+//     alike.
+//   - Device.RunSuite runs a whole benchmark batch through the worker
+//     pool and validates every result against the benchmark's Go
+//     oracle; the experiment harness (NewExperiments) is built on it,
+//     so regenerating the paper's figures fans out across cores.
+//
+// Results are deterministic by construction: merged statistics are
+// bit-identical for every SM and worker count, and grid partitioning
+// asserts the launch write-sharing contract (CTAs may only write the
+// same global location with the same value) instead of letting
+// scheduling order pick a winner.
+//
+// # Migrating from the v0 API
+//
+// The original one-shot entry points remain as deprecated wrappers for
+// one release:
+//
+//	res, err := sbwi.Run(sbwi.Configure(sbwi.SBI), l)   // old
+//
+//	dev, err := sbwi.NewDevice(sbwi.WithArch(sbwi.SBI)) // new
+//	res, err := dev.Run(ctx, l)
+//
+// A single-SM unpartitioned Device.Run is cycle-exact with sbwi.Run, so
+// migrating changes no numbers. Config fields map to options
+// (WithShuffle, WithAssoc, WithConstraints, WithTrace, WithSeed, ...);
+// WithConfig bridges anything without a dedicated option.
 //
 // See the examples directory for runnable programs and EXPERIMENTS.md
 // for the paper-versus-measured record.

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -87,13 +88,18 @@ func main() {
 	fmt.Println("reduction kernel validated on all architectures")
 
 	// 2. Measure.
+	ctx := context.Background()
 	fmt.Printf("%-10s %8s %8s %9s\n", "arch", "cycles", "IPC", "barriers")
 	for _, a := range sbwi.Architectures() {
 		p := tf
 		if a == sbwi.Baseline {
 			p = prog
 		}
-		res, err := sbwi.Run(sbwi.Configure(a), mkLaunch(p))
+		dev, err := sbwi.NewDevice(sbwi.WithArch(a))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := dev.Run(ctx, mkLaunch(p))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,8 +107,12 @@ func main() {
 	}
 
 	// 3. Inspect one result.
+	dev, err := sbwi.NewDevice(sbwi.WithArch(sbwi.SBISWI))
+	if err != nil {
+		log.Fatal(err)
+	}
 	l := mkLaunch(tf)
-	if _, err := sbwi.Run(sbwi.Configure(sbwi.SBISWI), l); err != nil {
+	if _, err := dev.Run(ctx, l); err != nil {
 		log.Fatal(err)
 	}
 	sum := binary.LittleEndian.Uint32(l.Global[0:4])

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -63,8 +64,12 @@ func main() {
 		if a == sbwi.Baseline {
 			p = prog
 		}
+		dev, err := sbwi.NewDevice(sbwi.WithArch(a))
+		if err != nil {
+			log.Fatal(err)
+		}
 		l := sbwi.NewLaunch(p, grid, block, make([]byte, grid*block*4), 0)
-		res, err := sbwi.Run(sbwi.Configure(a), l)
+		res, err := dev.Run(context.Background(), l)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,10 +53,12 @@ func main() {
 	fmt.Printf("%-12s %8s %8s %10s\n", "policy", "cycles", "IPC", "SWI pairs")
 	var identity int64
 	for _, pol := range policies {
-		cfg := sbwi.Configure(sbwi.SWI)
-		cfg.Shuffle = pol
+		dev, err := sbwi.NewDevice(sbwi.WithArch(sbwi.SWI), sbwi.WithShuffle(pol))
+		if err != nil {
+			log.Fatal(err)
+		}
 		l := sbwi.NewLaunch(tf, grid, block, make([]byte, grid*block*4), 0)
-		res, err := sbwi.Run(cfg, l)
+		res, err := dev.Run(context.Background(), l)
 		if err != nil {
 			log.Fatal(err)
 		}

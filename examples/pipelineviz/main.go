@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,15 +49,17 @@ func main() {
 		if a == sbwi.Baseline {
 			p = prog
 		}
-		cfg := sbwi.Configure(a)
-		cfg.TraceCap = 512
+		dev, err := sbwi.NewDevice(sbwi.WithArch(a), sbwi.WithTrace(512))
+		if err != nil {
+			log.Fatal(err)
+		}
 		l := sbwi.NewLaunch(p, 1, 128, make([]byte, 128*4), 0)
-		res, err := sbwi.Run(cfg, l)
+		res, err := dev.Run(context.Background(), l)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("=== %s: %d cycles, IPC %.1f ===\n", a, res.Stats.Cycles, res.Stats.IPC())
-		fmt.Print(res.Trace.Lanes(cfg.WarpWidth))
+		fmt.Print(res.Trace.Lanes(dev.Config().WarpWidth))
 		fmt.Println()
 	}
 	fmt.Println("Compare the strips: the baseline serializes the even/odd paths,")

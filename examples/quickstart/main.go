@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -46,8 +47,12 @@ func main() {
 		binary.LittleEndian.PutUint32(global[(n+i)*4:], uint32(i))
 	}
 
+	dev, err := sbwi.NewDevice(sbwi.WithArch(sbwi.SBISWI))
+	if err != nil {
+		log.Fatal(err)
+	}
 	launch := sbwi.NewLaunch(tf, grid, block, global, 0, uint32(n*4))
-	res, err := sbwi.Run(sbwi.Configure(sbwi.SBISWI), launch)
+	res, err := dev.Run(context.Background(), launch)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,324 @@
+// Package device implements the device-level simulation engine: a GPU
+// of N independent streaming multiprocessors fed from one CTA queue,
+// plus a batch runner that executes whole benchmark suites concurrently
+// on a bounded worker pool.
+//
+// # Execution model
+//
+// By default a launch runs whole on one SM instance, cycle-exact with
+// the classic sm.Run path — Stats are bit-identical to it for every
+// kernel, whatever the SM or worker count, which keeps the paper
+// reproduction stable while RunSuite fans independent launches out
+// across the worker pool.
+//
+// With WithGridPartition the grid is instead split into waves of
+// contiguous CTAs, each wave sized to fill one SM's warp contexts
+// (sm.ResidentCTAs), and dispatched across the device's SMs. Every wave
+// is simulated on a fresh, independent SM instance starting from a
+// snapshot of the pre-launch global image; the per-wave memory images
+// are then folded back with exec.MergeWaves, which asserts the
+// write-sharing contract (different CTAs may only write the same
+// location with the same value), and the per-wave statistics are merged
+// in wave order with Stats.Merge. Because the wave decomposition
+// depends only on the launch and the SM configuration — never on the
+// SM count or the host worker pool — partitioned Stats are also
+// bit-identical for any WithSMs/WithWorkers setting; relative to the
+// unpartitioned path they trade the cross-wave pipelining of one big SM
+// run for wave-level parallel scaling (each wave starts on a cold SM),
+// leaving functional results untouched. The SM count decides the
+// modeled wall-clock: wave j runs on SM j mod N, and
+// Result.SMCycles/DeviceCycles report how the waves pack onto the
+// configured SMs.
+package device
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/kernels"
+	"repro/internal/sm"
+)
+
+// Device is an N-SM simulation engine. It is immutable after New and
+// safe for concurrent use: every Run gets fresh SM instances, and the
+// device-wide worker semaphore is the only shared state.
+type Device struct {
+	cfg       sm.Config
+	sms       int
+	workers   int
+	partition bool
+	sem       chan struct{}
+}
+
+// Option configures a Device. Options are applied in order; later
+// options override earlier ones.
+type Option func(*settings)
+
+// settings is the mutable bag New threads through the options.
+type settings struct {
+	arch      sm.Arch
+	base      *sm.Config // explicit full config (WithConfig) overrides arch
+	modifier  []func(*sm.Config)
+	sms       int
+	workers   int
+	partition bool
+}
+
+// WithArch selects the modeled micro-architecture (default SBI+SWI) and
+// bases the configuration on its paper table-2 parameters.
+func WithArch(a sm.Arch) Option {
+	return func(s *settings) { s.arch = a; s.base = nil }
+}
+
+// WithConfig replaces the whole base configuration, for callers that
+// already hold a tuned sm.Config. Field options applied after it still
+// modify the supplied configuration.
+func WithConfig(cfg sm.Config) Option {
+	return func(s *settings) { c := cfg; s.base = &c }
+}
+
+// WithSMs sets the number of streaming multiprocessors (default 1).
+// More SMs shorten the modeled device wall-clock (Result.DeviceCycles)
+// and widen host-side parallelism, but never change merged statistics.
+func WithSMs(n int) Option {
+	return func(s *settings) { s.sms = n }
+}
+
+// WithWorkers bounds the host goroutines simulating concurrently across
+// everything the device runs (waves and suite entries alike). Default:
+// GOMAXPROCS. Worker count never changes results.
+func WithWorkers(n int) Option {
+	return func(s *settings) { s.workers = n }
+}
+
+// WithGridPartition enables intra-launch parallelism: the grid is split
+// into SM-sized CTA waves dispatched across the device's SMs (see the
+// package comment for the exact semantics and the write-sharing
+// contract it relies on). Off by default, which keeps Run cycle-exact
+// with the classic single-SM path.
+func WithGridPartition(on bool) Option {
+	return func(s *settings) { s.partition = on }
+}
+
+// WithModifier registers a configuration tweak applied after the base
+// architecture configuration is built. The public facade wraps this
+// into the typed options (WithShuffle, WithTrace, ...).
+func WithModifier(f func(*sm.Config)) Option {
+	return func(s *settings) { s.modifier = append(s.modifier, f) }
+}
+
+// New builds a Device. The zero option set models one SBI+SWI SM with
+// the paper's table-2 parameters.
+func New(opts ...Option) (*Device, error) {
+	st := settings{arch: sm.ArchSBISWI, sms: 1}
+	for _, o := range opts {
+		o(&st)
+	}
+	cfg := sm.Configure(st.arch)
+	if st.base != nil {
+		cfg = *st.base
+	}
+	for _, f := range st.modifier {
+		f(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("device: %w", err)
+	}
+	if st.sms <= 0 {
+		return nil, fmt.Errorf("device: SM count %d must be positive", st.sms)
+	}
+	if st.workers <= 0 {
+		st.workers = runtime.GOMAXPROCS(0)
+	}
+	return &Device{
+		cfg:       cfg,
+		sms:       st.sms,
+		workers:   st.workers,
+		partition: st.partition,
+		sem:       make(chan struct{}, st.workers),
+	}, nil
+}
+
+// Config returns a copy of the device's SM configuration.
+func (d *Device) Config() sm.Config { return d.cfg }
+
+// SMs returns the configured SM count.
+func (d *Device) SMs() int { return d.sms }
+
+// Workers returns the host worker-pool bound.
+func (d *Device) Workers() int { return d.workers }
+
+// acquire blocks until a worker slot is free or ctx is done.
+func (d *Device) acquire(ctx context.Context) error {
+	select {
+	case d.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (d *Device) release() { <-d.sem }
+
+// Run simulates the launch to completion on the device and returns the
+// result (merged across CTA waves when grid partitioning is enabled).
+// Global memory is mutated in place, exactly like sm.Run. The context
+// cancels the simulation promptly (the SM model polls it about every
+// 1k cycles); a cancelled partitioned run leaves the launch's memory
+// image unchanged, while the unpartitioned path may have partially
+// mutated it just as sm.Run would.
+func (d *Device) Run(ctx context.Context, l *exec.Launch) (*sm.Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	wave := sm.ResidentCTAs(d.cfg, l)
+	var waves [][2]int
+	if d.partition {
+		waves = exec.PartitionWaves(l.GridDim, wave)
+	}
+	if !d.partition || wave <= 0 || len(waves) <= 1 {
+		// Unpartitioned launch, a grid that fits in a single wave, or an
+		// over-subscribed block the SM will reject with its precise
+		// error: run whole on one SM over the live image, cycle-exact
+		// with the classic one-SM path.
+		if err := d.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer d.release()
+		return sm.RunRange(ctx, d.cfg, l, 0, l.GridDim)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	base := make([]byte, len(l.Global))
+	copy(base, l.Global)
+
+	type waveRun struct {
+		res    *sm.Result
+		global []byte
+		err    error
+	}
+	runs := make([]waveRun, len(waves))
+	var wg sync.WaitGroup
+	for i, w := range waves {
+		wg.Add(1)
+		go func(i int, start, end int) {
+			defer wg.Done()
+			if err := d.acquire(ctx); err != nil {
+				runs[i].err = err
+				return
+			}
+			defer d.release()
+			wl := *l
+			wl.Global = make([]byte, len(base))
+			copy(wl.Global, base)
+			res, err := sm.RunRange(ctx, d.cfg, &wl, start, end)
+			if err != nil {
+				runs[i].err = err
+				cancel()
+				return
+			}
+			runs[i] = waveRun{res: res, global: wl.Global}
+		}(i, w[0], w[1])
+	}
+	wg.Wait()
+
+	// Surface the first error in wave order so failures are
+	// deterministic too; prefer a real simulation error over the
+	// cancellations it triggered in sibling waves.
+	var firstErr error
+	for _, r := range runs {
+		if r.err == nil {
+			continue
+		}
+		if firstErr == nil || (isCtxErr(firstErr) && !isCtxErr(r.err)) {
+			firstErr = r.err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	images := make([][]byte, len(runs))
+	for i := range runs {
+		images[i] = runs[i].global
+	}
+	if err := exec.MergeWaves(l.Global, base, images); err != nil {
+		return nil, fmt.Errorf("device: %s: %w", l.Prog.Name, err)
+	}
+
+	out := &sm.Result{
+		Trace:    runs[0].res.Trace, // wave clocks are independent; keep the first wave's trace
+		Waves:    make([]sm.Stats, len(runs)),
+		SMCycles: make([]int64, d.sms),
+	}
+	for i, r := range runs {
+		out.Waves[i] = r.res.Stats
+		out.Stats.Merge(&r.res.Stats)
+		out.SMCycles[i%d.sms] += r.res.Stats.Cycles
+	}
+	return out, nil
+}
+
+// SuiteResult is the outcome of one benchmark within a RunSuite batch.
+type SuiteResult struct {
+	Bench  *kernels.Benchmark
+	Result *sm.Result
+	Err    error
+}
+
+// Name returns the benchmark name.
+func (r *SuiteResult) Name() string { return r.Bench.Name }
+
+// RunSuite simulates every benchmark on the device concurrently
+// (bounded by the worker pool) and validates each final memory image
+// against the benchmark's Go reference oracle — an oracle mismatch is
+// reported in that entry's Err, never a silent wrong number. Results
+// are returned in input order regardless of completion order. The
+// returned error is non-nil only for whole-batch failures (context
+// cancellation); per-benchmark failures live in the entries.
+func (d *Device) RunSuite(ctx context.Context, suite []*kernels.Benchmark) ([]*SuiteResult, error) {
+	results := make([]*SuiteResult, len(suite))
+	var wg sync.WaitGroup
+	for i, b := range suite {
+		results[i] = &SuiteResult{Bench: b}
+		wg.Add(1)
+		go func(r *SuiteResult) {
+			defer wg.Done()
+			r.Result, r.Err = d.runBenchmark(ctx, r.Bench)
+		}(results[i])
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// runBenchmark builds the benchmark's launch for the device's
+// architecture, runs it, and checks the oracle.
+func (d *Device) runBenchmark(ctx context.Context, b *kernels.Benchmark) (*sm.Result, error) {
+	l, err := b.NewLaunch(d.cfg.Arch != sm.ArchBaseline)
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.Run(ctx, l)
+	if err != nil {
+		return nil, fmt.Errorf("device: %s on %s: %w", b.Name, d.cfg.Arch, err)
+	}
+	if !bytes.Equal(l.Global, b.Expected()) {
+		return nil, fmt.Errorf("device: %s on %s: simulation diverged from reference", b.Name, d.cfg.Arch)
+	}
+	return res, nil
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

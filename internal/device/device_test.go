@@ -1,0 +1,173 @@
+package device
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/sm"
+)
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(WithSMs(0)); err == nil {
+		t.Error("zero SMs must be rejected")
+	}
+	bad := sm.Configure(sm.ArchSBI)
+	bad.NumWarps = -1
+	if _, err := New(WithConfig(bad)); err == nil {
+		t.Error("invalid config must be rejected")
+	}
+}
+
+func TestOptionOrder(t *testing.T) {
+	// Field modifiers apply on top of whichever base is selected,
+	// regardless of position relative to WithArch.
+	dev, err := New(
+		WithModifier(func(c *sm.Config) { c.Seed = 42 }),
+		WithArch(sm.ArchSWI),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dev.Config()
+	if cfg.Arch != sm.ArchSWI || cfg.Seed != 42 {
+		t.Errorf("cfg = arch %v seed %d", cfg.Arch, cfg.Seed)
+	}
+	if dev.SMs() != 1 || dev.Workers() <= 0 {
+		t.Errorf("defaults: sms %d workers %d", dev.SMs(), dev.Workers())
+	}
+}
+
+func TestRunSuiteReportsOracleMismatch(t *testing.T) {
+	good, ok := kernels.ByName("Histogram")
+	if !ok {
+		t.Fatal("Histogram missing")
+	}
+	// A benchmark whose oracle disagrees with its kernel: RunSuite must
+	// flag it instead of returning silently wrong statistics.
+	bad := &kernels.Benchmark{
+		Name: "BadOracle", Grid: 1, Block: 32,
+		Source: `
+	mov  r1, %tid
+	shl  r2, r1, 2
+	mov  r3, %p0
+	iadd r3, r3, r2
+	st.g [r3], r1
+	exit
+`,
+		Setup: func(*kernels.Benchmark) ([]byte, [isa.NumParams]uint32) {
+			return make([]byte, 32*4), [isa.NumParams]uint32{}
+		},
+		Reference: func(_ *kernels.Benchmark, global []byte, _ [isa.NumParams]uint32) {
+			global[0] = 0xFF // deliberately wrong
+		},
+		FrontierLayout: true,
+	}
+	dev, err := New(WithArch(sm.ArchSBISWI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := dev.RunSuite(context.Background(), []*kernels.Benchmark{good, bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Errorf("Histogram: %v", results[0].Err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "diverged from reference") {
+		t.Errorf("BadOracle err = %v, want oracle mismatch", results[1].Err)
+	}
+}
+
+func TestPartitionedRunMatchesFunctionally(t *testing.T) {
+	// The partitioned engine must produce the same memory image as the
+	// whole-grid run, and its per-wave stats must sum to the merged
+	// stats.
+	b, ok := kernels.ByName("BFS")
+	if !ok {
+		t.Fatal("BFS missing")
+	}
+	whole, err := b.NewLaunch(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sm.Run(sm.Configure(sm.ArchSBISWI), whole); err != nil {
+		t.Fatal(err)
+	}
+
+	dev, err := New(WithArch(sm.ArchSBISWI), WithSMs(3), WithGridPartition(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := b.NewLaunch(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.Run(context.Background(), part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(part.Global, whole.Global) {
+		t.Error("partitioned memory image differs from the whole-grid run")
+	}
+	var sum sm.Stats
+	for i := range res.Waves {
+		sum.Merge(&res.Waves[i])
+	}
+	if !reflect.DeepEqual(sum, res.Stats) {
+		t.Error("merged stats are not the fold of the per-wave stats")
+	}
+	var smSum int64
+	for _, c := range res.SMCycles {
+		smSum += c
+	}
+	if smSum != res.Stats.Cycles {
+		t.Errorf("SMCycles sum %d != aggregate cycles %d", smSum, res.Stats.Cycles)
+	}
+}
+
+func TestPartitionedRunDetectsWriteConflicts(t *testing.T) {
+	// Every CTA writes a CTA-dependent value to the same global word —
+	// the contract violation the merge must catch.
+	prog := mustProgram(t, "conflict", `
+	mov  r1, %ctaid
+	iadd r1, r1, 1
+	mov  r2, %p0
+	st.g [r2], r1
+	exit
+`)
+	// block 256 -> 4 warps per CTA -> 4 resident CTAs, so grid 8 spans
+	// two waves whose CTAs write different values to the same word.
+	l := &exec.Launch{Prog: prog, GridDim: 8, BlockDim: 256, Global: make([]byte, 64)}
+	dev, err := New(WithArch(sm.ArchSBISWI), WithSMs(2), WithGridPartition(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dev.Run(context.Background(), l)
+	var conflict *exec.WriteConflict
+	if !errors.As(err, &conflict) {
+		t.Fatalf("err = %v, want a WriteConflict", err)
+	}
+}
+
+func mustProgram(t *testing.T, name, src string) *isa.Program {
+	t.Helper()
+	b := &kernels.Benchmark{
+		Name: name, Grid: 1, Block: 1, Source: src,
+		Setup: func(*kernels.Benchmark) ([]byte, [isa.NumParams]uint32) {
+			return nil, [isa.NumParams]uint32{}
+		},
+		Reference:      func(*kernels.Benchmark, []byte, [isa.NumParams]uint32) {},
+		FrontierLayout: true,
+	}
+	p, err := b.Program(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -14,6 +14,11 @@ import (
 // Launch describes one kernel launch: the program, the grid shape, the
 // kernel parameters and the global memory image. Both simulators mutate
 // Global in place; callers that need the initial image must copy it.
+//
+// When a launch is partitioned across SM instances (sm.RunRange via a
+// Device), its kernel must obey the write-sharing contract documented
+// in partition.go: different CTAs may only write the same global
+// location if they write the same value. MergeWaves asserts this.
 type Launch struct {
 	Prog     *isa.Program
 	GridDim  int // number of thread blocks

@@ -1,0 +1,80 @@
+package exec
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestPartitionWaves(t *testing.T) {
+	cases := []struct {
+		grid, wave int
+		want       [][2]int
+	}{
+		{grid: 8, wave: 4, want: [][2]int{{0, 4}, {4, 8}}},
+		{grid: 9, wave: 4, want: [][2]int{{0, 4}, {4, 8}, {8, 9}}},
+		{grid: 3, wave: 4, want: [][2]int{{0, 3}}},
+		{grid: 1, wave: 1, want: [][2]int{{0, 1}}},
+		{grid: 0, wave: 4, want: nil},
+		{grid: 4, wave: 0, want: nil},
+	}
+	for _, c := range cases {
+		got := PartitionWaves(c.grid, c.wave)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("PartitionWaves(%d, %d) = %v, want %v", c.grid, c.wave, got, c.want)
+		}
+	}
+}
+
+func TestMergeWavesDisjoint(t *testing.T) {
+	base := []byte{1, 2, 3, 4}
+	w0 := []byte{9, 2, 3, 4} // writes byte 0
+	w1 := []byte{1, 2, 8, 4} // writes byte 2
+	dst := make([]byte, 4)
+	if err := MergeWaves(dst, base, [][]byte{w0, w1}); err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte{9, 2, 8, 4}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("merged = %v, want %v", dst, want)
+	}
+}
+
+func TestMergeWavesSameValueOverlap(t *testing.T) {
+	// Two waves writing the same value to the same byte is the
+	// order-independent-write case (BFS frontier levels) and must merge.
+	base := []byte{0, 0}
+	w0 := []byte{7, 0}
+	w1 := []byte{7, 5}
+	dst := make([]byte, 2)
+	if err := MergeWaves(dst, base, [][]byte{w0, w1}); err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte{7, 5}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("merged = %v, want %v", dst, want)
+	}
+}
+
+func TestMergeWavesConflict(t *testing.T) {
+	base := []byte{0}
+	err := MergeWaves(make([]byte, 1), base, [][]byte{{3}, {4}})
+	var conflict *WriteConflict
+	if !errors.As(err, &conflict) {
+		t.Fatalf("err = %v, want *WriteConflict", err)
+	}
+	if conflict.Offset != 0 || conflict.A != 3 || conflict.B != 4 {
+		t.Errorf("conflict = %+v", conflict)
+	}
+}
+
+func TestMergeWavesShapeErrors(t *testing.T) {
+	if err := MergeWaves(make([]byte, 1), make([]byte, 2), nil); err == nil {
+		t.Error("length mismatch must error")
+	}
+	base := []byte{1}
+	if err := MergeWaves(base, base, nil); err == nil {
+		t.Error("aliased destination must error")
+	}
+	if err := MergeWaves(make([]byte, 1), base, [][]byte{{1, 2}}); err == nil {
+		t.Error("wave length mismatch must error")
+	}
+}

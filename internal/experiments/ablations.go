@@ -25,6 +25,15 @@ func (r *Runner) AblationScoreboard() (*Table, error) {
 		{"exact mask", sched.DepMask},
 		{"per-warp", sched.DepWarp},
 	}
+	cfgs := []sm.Config{sm.Configure(sm.ArchSBI)}
+	for _, m := range modes {
+		cfg := sm.Configure(sm.ArchSBI)
+		cfg.DepMode = m.mode
+		cfgs = append(cfgs, cfg)
+	}
+	if err := r.prefetchMatrix(kernels.Irregular(), cfgs); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title: "Ablation: SBI scoreboard dependency rule (IPC relative to the dependency-matrix design)",
 		Note:  "exact mask >= matrix >= per-warp expected: each is strictly less conservative",
@@ -67,6 +76,14 @@ func (r *Runner) AblationScoreboard() (*Table, error) {
 // splitting extension (related work the paper discusses): SBI+SWI with
 // the knob on versus off over the irregular suite.
 func (r *Runner) AblationMemSplit() (*Table, error) {
+	{
+		off := sm.Configure(sm.ArchSBISWI)
+		on := off
+		on.SplitOnMemDivergence = true
+		if err := r.prefetchMatrix(kernels.Irregular(), []sm.Config{off, on}); err != nil {
+			return nil, err
+		}
+	}
 	t := &Table{
 		Title: "Ablation: memory-divergence warp splitting (SBI+SWI, speedup of split over no-split)",
 		Cols:  []string{"speedup", "splits/1k-issues"},
@@ -102,6 +119,9 @@ func (r *Runner) AblationMemSplit() (*Table, error) {
 // would have had to defer (DESIGN.md records the perfect-sort
 // substitution this quantifies).
 func (r *Runner) HeapPressure() (*Table, error) {
+	if err := r.prefetchMatrix(kernels.Irregular(), []sm.Config{sm.Configure(sm.ArchSBI)}); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title: "Heap pressure under SBI (per irregular kernel)",
 		Cols:  []string{"max splits", "merges/1k-issues", "deferred inserts", "CCT overflows"},

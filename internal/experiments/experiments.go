@@ -7,22 +7,32 @@
 package experiments
 
 import (
-	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"strings"
+	"sync"
 
+	"repro/internal/device"
 	"repro/internal/kernels"
 	"repro/internal/sm"
 )
 
 // Runner executes benchmark simulations with memoization (several
-// figures share configurations) and validates every simulation's
-// memory image against the benchmark's reference oracle.
+// figures share configurations). Simulation and oracle validation are
+// delegated to the device engine: each figure prefetches its whole
+// (benchmark, configuration) request set through Device.RunSuite, so
+// the simulations fan out across the host's cores instead of running
+// serially; table assembly then reads from the cache. The runner is
+// safe for concurrent use.
 type Runner struct {
-	cache    map[runKey]*sm.Stats
-	expected map[string][]byte
+	mu    sync.Mutex
+	cache map[runKey]*sm.Stats
+
+	// Workers bounds the host goroutines simulating concurrently;
+	// 0 means GOMAXPROCS.
+	Workers int
 
 	// Progress, when non-nil, receives one line per simulation.
 	Progress io.Writer
@@ -38,21 +48,9 @@ type runKey struct {
 	depMode     uint8
 }
 
-// NewRunner creates an empty runner.
-func NewRunner() *Runner {
-	return &Runner{
-		cache:    make(map[runKey]*sm.Stats),
-		expected: make(map[string][]byte),
-	}
-}
-
-// Stats simulates benchmark b under cfg (memoized) and returns the run
-// statistics. The simulation's final memory is checked against the
-// benchmark's Go reference; a mismatch is an error, never a silent
-// wrong figure.
-func (r *Runner) Stats(b *kernels.Benchmark, cfg sm.Config) (*sm.Stats, error) {
-	key := runKey{
-		bench:       b.Name,
+func configKey(bench string, cfg *sm.Config) runKey {
+	return runKey{
+		bench:       bench,
 		arch:        cfg.Arch,
 		constraints: cfg.Constraints,
 		shuffle:     cfg.Shuffle.String(),
@@ -60,32 +58,101 @@ func (r *Runner) Stats(b *kernels.Benchmark, cfg sm.Config) (*sm.Stats, error) {
 		memSplit:    cfg.SplitOnMemDivergence,
 		depMode:     uint8(cfg.DepMode),
 	}
-	if s, ok := r.cache[key]; ok {
+}
+
+// NewRunner creates an empty runner.
+func NewRunner() *Runner {
+	return &Runner{cache: make(map[runKey]*sm.Stats)}
+}
+
+// Request names one simulation a figure needs: a benchmark under a
+// configuration.
+type Request struct {
+	Bench *kernels.Benchmark
+	Cfg   sm.Config
+}
+
+// Prefetch simulates every not-yet-cached request, fanning the batch
+// out through Device.RunSuite (grouped by configuration, bounded by
+// Workers). Each simulation's final memory is checked against the
+// benchmark's Go reference by the device; a mismatch is an error, never
+// a silent wrong figure. Prefetch is deterministic: results do not
+// depend on the worker count or on completion order.
+func (r *Runner) Prefetch(ctx context.Context, reqs []Request) error {
+	type group struct {
+		cfg     sm.Config
+		benches []*kernels.Benchmark
+	}
+	var groups []group
+	index := make(map[runKey]int)
+	seen := make(map[runKey]bool)
+	r.mu.Lock()
+	for i := range reqs {
+		q := &reqs[i]
+		k := configKey(q.Bench.Name, &q.Cfg)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, ok := r.cache[k]; ok {
+			continue
+		}
+		ck := k
+		ck.bench = ""
+		gi, ok := index[ck]
+		if !ok {
+			gi = len(groups)
+			index[ck] = gi
+			groups = append(groups, group{cfg: q.Cfg})
+		}
+		groups[gi].benches = append(groups[gi].benches, q.Bench)
+	}
+	r.mu.Unlock()
+
+	for _, g := range groups {
+		dev, err := device.New(device.WithConfig(g.cfg), device.WithWorkers(r.Workers))
+		if err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		results, err := dev.RunSuite(ctx, g.benches)
+		if err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		r.mu.Lock()
+		for _, sr := range results {
+			if sr.Err != nil {
+				r.mu.Unlock()
+				return fmt.Errorf("experiments: %w", sr.Err)
+			}
+			s := sr.Result.Stats
+			r.cache[configKey(sr.Bench.Name, &g.cfg)] = &s
+			if r.Progress != nil {
+				fmt.Fprintf(r.Progress, "  %-22s %-10s IPC %6.2f  (%d cycles)\n",
+					sr.Bench.Name, g.cfg.Arch, s.IPC(), s.Cycles)
+			}
+		}
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// Stats simulates benchmark b under cfg (memoized) and returns the run
+// statistics, prefetching on a cache miss.
+func (r *Runner) Stats(b *kernels.Benchmark, cfg sm.Config) (*sm.Stats, error) {
+	k := configKey(b.Name, &cfg)
+	r.mu.Lock()
+	s, ok := r.cache[k]
+	r.mu.Unlock()
+	if ok {
 		return s, nil
 	}
-	l, err := b.NewLaunch(cfg.Arch != sm.ArchBaseline)
-	if err != nil {
+	if err := r.Prefetch(context.Background(), []Request{{Bench: b, Cfg: cfg}}); err != nil {
 		return nil, err
 	}
-	res, err := sm.Run(cfg, l)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s on %s: %w", b.Name, cfg.Arch, err)
-	}
-	want, ok := r.expected[b.Name]
-	if !ok {
-		want = b.Expected()
-		r.expected[b.Name] = want
-	}
-	if !bytes.Equal(l.Global, want) {
-		return nil, fmt.Errorf("experiments: %s on %s: simulation diverged from reference", b.Name, cfg.Arch)
-	}
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "  %-22s %-10s IPC %6.2f  (%d cycles)\n",
-			b.Name, cfg.Arch, res.Stats.IPC(), res.Stats.Cycles)
-	}
-	s := res.Stats
-	r.cache[key] = &s
-	return &s, nil
+	r.mu.Lock()
+	s = r.cache[k]
+	r.mu.Unlock()
+	return s, nil
 }
 
 // Table is a rendered experiment result.

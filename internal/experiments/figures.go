@@ -1,15 +1,37 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/kernels"
 	"repro/internal/sched"
 	"repro/internal/sm"
 )
 
+// prefetchMatrix batches the cross product of benchmarks and
+// configurations through the device engine, so a figure's simulations
+// run concurrently before its table is assembled serially from cache.
+func (r *Runner) prefetchMatrix(suite []*kernels.Benchmark, cfgs []sm.Config) error {
+	reqs := make([]Request, 0, len(suite)*len(cfgs))
+	for _, b := range suite {
+		for _, cfg := range cfgs {
+			reqs = append(reqs, Request{Bench: b, Cfg: cfg})
+		}
+	}
+	return r.Prefetch(context.Background(), reqs)
+}
+
 // fig7 runs the five architectures over a suite and reports IPC per
 // benchmark plus the geometric mean (TMD excluded, §5.1).
 func (r *Runner) fig7(title string, suite []*kernels.Benchmark) (*Table, error) {
 	archs := sm.Architectures()
+	cfgs := make([]sm.Config, len(archs))
+	for i, a := range archs {
+		cfgs[i] = sm.Configure(a)
+	}
+	if err := r.prefetchMatrix(suite, cfgs); err != nil {
+		return nil, err
+	}
 	t := &Table{Title: title, Note: "thread-IPC; Gmean excludes TMD (reflects reconvergence scheme, not SBI/SWI)"}
 	for _, a := range archs {
 		t.Cols = append(t.Cols, a.String())
@@ -57,6 +79,17 @@ func (r *Runner) Fig7b() (*Table, error) {
 // constrained over unconstrained execution, plus the issue-slot
 // reduction the constraints buy.
 func (r *Runner) Fig8a() (*Table, error) {
+	var cfgs []sm.Config
+	for _, a := range []sm.Arch{sm.ArchSBI, sm.ArchSBISWI} {
+		on := sm.Configure(a)
+		on.Constraints = true
+		off := on
+		off.Constraints = false
+		cfgs = append(cfgs, on, off)
+	}
+	if err := r.prefetchMatrix(kernels.Irregular(), cfgs); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title: "Figure 8(a): reconvergence constraints (speedup of constrained over unconstrained)",
 		Cols:  []string{"SBI", "SBI+SWI", "SBI issue reduction", "SBI+SWI issue reduction"},
@@ -98,6 +131,15 @@ func (r *Runner) Fig8a() (*Table, error) {
 // over Identity for SWI on the irregular applications.
 func (r *Runner) Fig8b() (*Table, error) {
 	policies := []sched.Shuffle{sched.ShuffleMirrorOdd, sched.ShuffleMirrorHalf, sched.ShuffleXor, sched.ShuffleXorRev}
+	cfgs := make([]sm.Config, 0, len(policies)+1)
+	for _, p := range append([]sched.Shuffle{sched.ShuffleIdentity}, policies...) {
+		cfg := sm.Configure(sm.ArchSWI)
+		cfg.Shuffle = p
+		cfgs = append(cfgs, cfg)
+	}
+	if err := r.prefetchMatrix(kernels.Irregular(), cfgs); err != nil {
+		return nil, err
+	}
 	t := &Table{Title: "Figure 8(b): SWI lane shuffling (speedup over Identity)"}
 	for _, p := range policies {
 		t.Cols = append(t.Cols, p.String())
@@ -146,6 +188,15 @@ func (r *Runner) Fig9() (*Table, error) {
 		{"11-way", 11},
 		{"3-way", 3},
 		{"Direct mapped", 1},
+	}
+	cfgs := make([]sm.Config, 0, len(assocs))
+	for _, a := range assocs {
+		cfg := sm.Configure(sm.ArchSWI)
+		cfg.Assoc = a.ways
+		cfgs = append(cfgs, cfg)
+	}
+	if err := r.prefetchMatrix(kernels.Irregular(), cfgs); err != nil {
+		return nil, err
 	}
 	t := &Table{Title: "Figure 9: SWI lookup associativity (slowdown vs fully-associative)"}
 	for _, a := range assocs {

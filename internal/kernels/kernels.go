@@ -11,6 +11,7 @@ package kernels
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
@@ -39,14 +40,22 @@ type Benchmark struct {
 	// laid out against thread-frontier order (§5.1).
 	FrontierLayout bool
 
-	plain *isa.Program // RecPC-annotated, no SYNCs (baseline stack)
-	tf    *isa.Program // SYNC-instrumented (thread-frontier designs)
+	// mu guards the lazily built caches below: suite entries are shared
+	// package state, and the device's batch runner assembles and
+	// oracle-checks benchmarks from concurrent goroutines.
+	mu       sync.Mutex
+	plain    *isa.Program // RecPC-annotated, no SYNCs (baseline stack)
+	tf       *isa.Program // SYNC-instrumented (thread-frontier designs)
+	expected []byte       // memoized oracle image (do not mutate)
 }
 
 // Program returns the assembled kernel: the SYNC-instrumented
 // thread-frontier variant or the plain annotated one. Programs are
-// assembled on first use and cached.
+// assembled on first use and cached; Program is safe for concurrent
+// use.
 func (b *Benchmark) Program(threadFrontier bool) (*isa.Program, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.plain == nil {
 		p, err := asm.Assemble(b.Name, b.Source)
 		if err != nil {
@@ -55,12 +64,11 @@ func (b *Benchmark) Program(threadFrontier bool) (*isa.Program, error) {
 		if err := cfg.AnnotateReconvergence(p); err != nil {
 			return nil, fmt.Errorf("kernels: %s: %w", b.Name, err)
 		}
-		b.plain = p
 		tf, err := cfg.InsertSyncs(p)
 		if err != nil {
 			return nil, fmt.Errorf("kernels: %s: %w", b.Name, err)
 		}
-		b.tf = tf
+		b.plain, b.tf = p, tf
 	}
 	if threadFrontier {
 		return b.tf, nil
@@ -85,10 +93,18 @@ func (b *Benchmark) NewLaunch(threadFrontier bool) (*exec.Launch, error) {
 }
 
 // Expected returns the expected final global image for a fresh launch.
+// The oracle runs once per benchmark and the image is memoized —
+// callers compare against it and must not mutate it. Safe for
+// concurrent use.
 func (b *Benchmark) Expected() []byte {
-	global, params := b.Setup(b)
-	b.Reference(b, global, params)
-	return global
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.expected == nil {
+		global, params := b.Setup(b)
+		b.Reference(b, global, params)
+		b.expected = global
+	}
+	return b.expected
 }
 
 // All returns the full suite in the paper's figure-7 order (regular

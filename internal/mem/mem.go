@@ -51,6 +51,25 @@ type Stats struct {
 	Transactions      uint64 // unique transactions after coalescing
 }
 
+// Merge folds another hierarchy's statistics into s: counters add,
+// PeakOutstanding takes the maximum. Used by the device layer to
+// combine per-SM runs deterministically.
+func (s *Stats) Merge(o *Stats) {
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.MSHRMerges += o.MSHRMerges
+	s.BytesFromMem += o.BytesFromMem
+	s.BytesToMem += o.BytesToMem
+	if o.PeakOutstanding > s.PeakOutstanding {
+		s.PeakOutstanding = o.PeakOutstanding
+	}
+	s.Evictions += o.Evictions
+	s.CoalescedAccesses += o.CoalescedAccesses
+	s.Transactions += o.Transactions
+}
+
 type line struct {
 	tag   uint32
 	valid bool

@@ -1,6 +1,7 @@
 package sm
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -25,6 +26,7 @@ type SM struct {
 	warps   []*warp
 	blocks  []*block
 	nextCTA int
+	ctaEnd  int
 	now     int64
 
 	srcBuf []isa.Reg
@@ -37,6 +39,34 @@ type SM struct {
 type Result struct {
 	Stats Stats
 	Trace *Trace
+
+	// Waves holds the per-wave statistics when a Device partitioned the
+	// launch into CTA waves simulated on independent SM instances; it is
+	// nil for a plain single-SM Run. Stats is the deterministic merge of
+	// the wave entries (wave order), so it is identical for any SM or
+	// worker count.
+	Waves []Stats
+
+	// SMCycles is the per-SM busy-cycle total under the device's
+	// round-robin wave assignment (wave j runs on SM j mod N). Unlike
+	// Stats, it depends on the configured SM count: more SMs spread the
+	// same waves wider. Nil for a plain single-SM Run.
+	SMCycles []int64
+}
+
+// DeviceCycles returns the modeled device wall-clock: the busiest SM's
+// cycle total, or Stats.Cycles when the launch ran on a single SM.
+func (r *Result) DeviceCycles() int64 {
+	if len(r.SMCycles) == 0 {
+		return r.Stats.Cycles
+	}
+	var m int64
+	for _, c := range r.SMCycles {
+		if c > m {
+			m = c
+		}
+	}
+	return m
 }
 
 // candidate is an issueable (warp, split) pair resolved by a scheduler.
@@ -53,11 +83,41 @@ type candidate struct {
 // returns the statistics. The launch's global memory is mutated in
 // place; callers needing the initial image should use CloneGlobal.
 func Run(cfg Config, l *exec.Launch) (*Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return RunRange(context.Background(), cfg, l, 0, l.GridDim)
+}
+
+// ResidentCTAs returns how many CTAs of the launch are co-resident on
+// one SM: the warp contexts divided by the warps one block needs. It is
+// the wave size a Device uses to partition a grid across SM instances.
+func ResidentCTAs(cfg Config, l *exec.Launch) int {
+	warpsPerBlock := (l.BlockDim + cfg.WarpWidth - 1) / cfg.WarpWidth
+	if warpsPerBlock <= 0 || warpsPerBlock > cfg.NumWarps {
+		return 0
+	}
+	return cfg.NumWarps / warpsPerBlock
+}
+
+// RunRange simulates the CTA sub-range [ctaStart, ctaEnd) of the launch
+// on a fresh SM. The SM model is re-entrant: independent RunRange calls
+// over disjoint sub-ranges of one launch may run concurrently as long
+// as each operates on its own global-memory image (see the Launch
+// write-sharing contract in package exec). Thread environments still
+// see the full grid (%nctaid is l.GridDim), so functional behavior is
+// position-independent. The context is polled about every 1k cycles;
+// cancellation aborts the simulation with ctx.Err().
+func RunRange(ctx context.Context, cfg Config, l *exec.Launch, ctaStart, ctaEnd int) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := l.Validate(); err != nil {
 		return nil, err
+	}
+	if ctaStart < 0 || ctaEnd > l.GridDim || ctaStart >= ctaEnd {
+		return nil, fmt.Errorf("sm: %s: CTA range [%d, %d) outside grid of %d",
+			l.Prog.Name, ctaStart, ctaEnd, l.GridDim)
 	}
 	warpsPerBlock := (l.BlockDim + cfg.WarpWidth - 1) / cfg.WarpWidth
 	if warpsPerBlock > cfg.NumWarps {
@@ -74,14 +134,16 @@ func Run(cfg Config, l *exec.Launch) (*Result, error) {
 	}
 
 	s := &SM{
-		cfg:    cfg,
-		launch: l,
-		prog:   l.Prog,
-		hier:   mem.NewHierarchy(cfg.Mem),
-		sb:     sched.NewScoreboard(cfg.DepMode, cfg.NumWarps, cfg.ScoreboardEntries),
-		rng:    sched.NewXorShift64(cfg.Seed),
-		units:  newUnits(&cfg),
-		warps:  make([]*warp, cfg.NumWarps),
+		cfg:     cfg,
+		launch:  l,
+		prog:    l.Prog,
+		hier:    mem.NewHierarchy(cfg.Mem),
+		sb:      sched.NewScoreboard(cfg.DepMode, cfg.NumWarps, cfg.ScoreboardEntries),
+		rng:     sched.NewXorShift64(cfg.Seed),
+		units:   newUnits(&cfg),
+		warps:   make([]*warp, cfg.NumWarps),
+		nextCTA: ctaStart,
+		ctaEnd:  ctaEnd,
 	}
 	lk, err := sched.NewLookup(cfg.NumWarps, cfg.Assoc)
 	if err != nil {
@@ -101,6 +163,13 @@ func Run(cfg Config, l *exec.Launch) (*Result, error) {
 	}
 
 	for {
+		if s.now&1023 == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		s.retireBlocks()
 		s.launchBlocks()
 		if s.done() {
@@ -153,9 +222,10 @@ func (s *SM) foldWarpStats(w *warp) {
 	}
 }
 
-// done reports whether every CTA has been run to completion.
+// done reports whether every CTA of the sub-range has been run to
+// completion.
 func (s *SM) done() bool {
-	return s.nextCTA >= s.launch.GridDim && len(s.blocks) == 0
+	return s.nextCTA >= s.ctaEnd && len(s.blocks) == 0
 }
 
 // dumpState renders a one-line-per-warp summary for livelock reports.
@@ -202,7 +272,7 @@ func (s *SM) retireBlocks() {
 // launchBlocks assigns pending CTAs to free warp contexts.
 func (s *SM) launchBlocks() {
 	warpsPerBlock := (s.launch.BlockDim + s.cfg.WarpWidth - 1) / s.cfg.WarpWidth
-	for s.nextCTA < s.launch.GridDim {
+	for s.nextCTA < s.ctaEnd {
 		var free []*warp
 		for _, w := range s.warps {
 			if w.block == nil {

@@ -68,6 +68,49 @@ type Stats struct {
 	Mem mem.Stats
 }
 
+// Merge folds another run's statistics into s. Counters add; peak
+// trackers (MaxSplits, MaxStackDepth, and the memory system's peaks)
+// take the maximum. Cycles add too: the merged value is the aggregate
+// SM-busy cycle count across the merged runs, not device wall-clock
+// (Result.SMCycles and DeviceCycles model that). Merging is commutative
+// and associative over these fields, so a device merging per-wave
+// statistics in wave order produces identical totals for any SM or
+// worker count.
+func (s *Stats) Merge(o *Stats) {
+	s.Cycles += o.Cycles
+	s.ThreadInstrs += o.ThreadInstrs
+	s.SyncThreadInstrs += o.SyncThreadInstrs
+	s.IssueSlots += o.IssueSlots
+	s.PrimaryIssues += o.PrimaryIssues
+	s.SecondaryIssues += o.SecondaryIssues
+	s.SBIPairs += o.SBIPairs
+	s.SWIPairs += o.SWIPairs
+	s.SeqPairs += o.SeqPairs
+	for i := range s.UnitThreadInstrs {
+		s.UnitThreadInstrs[i] += o.UnitThreadInstrs[i]
+	}
+	s.SyncWaits += o.SyncWaits
+	s.MemSplits += o.MemSplits
+	s.Divergences += o.Divergences
+	s.Merges += o.Merges
+	if o.MaxSplits > s.MaxSplits {
+		s.MaxSplits = o.MaxSplits
+	}
+	if o.MaxStackDepth > s.MaxStackDepth {
+		s.MaxStackDepth = o.MaxStackDepth
+	}
+	s.DegradedInserts += o.DegradedInserts
+	s.CCTOverflows += o.CCTOverflows
+	s.ScoreboardChecks += o.ScoreboardChecks
+	s.ScoreboardStalls += o.ScoreboardStalls
+	s.StructuralStalls += o.StructuralStalls
+	s.Transactions += o.Transactions
+	s.Replays += o.Replays
+	s.BarrierWaits += o.BarrierWaits
+	s.BlocksRun += o.BlocksRun
+	s.Mem.Merge(&o.Mem)
+}
+
 // IPC returns committed thread instructions per cycle.
 func (s *Stats) IPC() float64 {
 	if s.Cycles == 0 {

@@ -1,0 +1,84 @@
+package sbwi
+
+import (
+	"repro/internal/device"
+	"repro/internal/sm"
+)
+
+// Option configures a Device built by NewDevice. Options apply in
+// order; later options override earlier ones. Field options (shuffle,
+// associativity, ...) modify the configuration selected by WithArch or
+// WithConfig regardless of their position in the option list.
+type Option = device.Option
+
+// WithArch selects the modeled micro-architecture and bases the
+// device's configuration on that architecture's paper table-2
+// parameters. Default: SBISWI.
+func WithArch(a Arch) Option { return device.WithArch(a) }
+
+// WithConfig bases the device on a fully spelled-out configuration
+// instead of an architecture's defaults — the escape hatch for callers
+// that already hold a tuned Config.
+func WithConfig(cfg Config) Option { return device.WithConfig(cfg) }
+
+// WithSMs sets the number of streaming multiprocessors the device
+// models (default 1). With grid partitioning enabled, a launch's CTA
+// waves are dispatched across the SMs round-robin and
+// Result.DeviceCycles reports the busiest SM's total; statistics are
+// bit-identical for every SM count by construction.
+func WithSMs(n int) Option { return device.WithSMs(n) }
+
+// WithWorkers bounds the host goroutines simulating concurrently
+// across everything the device runs — CTA waves and RunSuite entries
+// alike (default: GOMAXPROCS). The worker count never changes results,
+// only wall-clock.
+func WithWorkers(n int) Option { return device.WithWorkers(n) }
+
+// WithGridPartition enables intra-launch parallelism: the grid is
+// split into SM-sized CTA waves, each simulated on an independent SM
+// instance from a snapshot of global memory and merged back under the
+// write-sharing contract (CTAs may only write the same global location
+// with the same value). Off by default, which keeps Device.Run
+// cycle-exact with the classic single-SM Run path.
+func WithGridPartition(on bool) Option { return device.WithGridPartition(on) }
+
+// WithShuffle sets the static lane-shuffling policy (paper table 1).
+func WithShuffle(p Shuffle) Option {
+	return device.WithModifier(func(c *sm.Config) { c.Shuffle = p })
+}
+
+// WithAssoc sets the SWI secondary-lookup associativity
+// (FullyAssociative for the unrestricted search).
+func WithAssoc(ways int) Option {
+	return device.WithModifier(func(c *sm.Config) { c.Assoc = ways })
+}
+
+// WithConstraints toggles the selective synchronization barriers of
+// paper §3.3.
+func WithConstraints(on bool) Option {
+	return device.WithModifier(func(c *sm.Config) { c.Constraints = on })
+}
+
+// WithTrace records up to n issue events per run for pipeline
+// visualization (figure 2). For partitioned launches the trace covers
+// the first CTA wave.
+func WithTrace(n int) Option {
+	return device.WithModifier(func(c *sm.Config) { c.TraceCap = n })
+}
+
+// WithSeed seeds the secondary scheduler's tie-breaking PRNG.
+func WithSeed(seed uint64) Option {
+	return device.WithModifier(func(c *sm.Config) { c.Seed = seed })
+}
+
+// WithMaxCycles bounds each SM simulation against livelocked kernels
+// (0 keeps the default bound).
+func WithMaxCycles(n int64) Option {
+	return device.WithModifier(func(c *sm.Config) { c.MaxCycles = n })
+}
+
+// WithMemDivergenceSplit enables the DWS-style memory-divergence warp
+// splitting extension on thread-frontier architectures.
+func WithMemDivergenceSplit(on bool) Option {
+	return device.WithModifier(func(c *sm.Config) { c.SplitOnMemDivergence = on })
+}

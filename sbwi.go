@@ -85,24 +85,39 @@ func Architectures() []Arch { return sm.Architectures() }
 // Configure returns the paper's table-2 configuration for an
 // architecture. The result can be adjusted before Run (constraints,
 // shuffle policy, lookup associativity, memory geometry...).
+//
+// Deprecated: build a Device with NewDevice and functional options
+// (WithArch, WithShuffle, ...) instead; WithConfig accepts a hand-tuned
+// Config for anything without a dedicated option. Configure remains for
+// one release as the bridge between the two styles.
 func Configure(a Arch) Config { return sm.Configure(a) }
 
 // NewLaunch builds a launch. Params are byte offsets or scalar values
-// the kernel reads via %p0..%p15.
+// the kernel reads via %p0..%p15; passing more than the ISA's 16
+// parameters is a programming error and panics rather than silently
+// dropping the excess.
 func NewLaunch(p *Program, grid, block int, global []byte, params ...uint32) *Launch {
 	l := &Launch{Prog: p, GridDim: grid, BlockDim: block, Global: global}
-	for i, v := range params {
-		if i >= len(l.Params) {
-			break
-		}
-		l.Params[i] = v
+	if len(params) > len(l.Params) {
+		panic(fmt.Sprintf("sbwi: NewLaunch: %d kernel parameters exceed the ISA's %d (%%p0..%%p%d)",
+			len(params), len(l.Params), len(l.Params)-1))
 	}
+	copy(l.Params[:], params)
 	return l
 }
 
 // Run simulates the launch to completion on one SM and returns the
 // statistics (and the issue trace when cfg.TraceCap is set). Global
 // memory is mutated in place.
+//
+// Deprecated: use Device.Run, which adds cancellation, bounded host
+// parallelism and optional multi-SM grid partitioning:
+//
+//	dev, err := sbwi.NewDevice(sbwi.WithConfig(cfg))
+//	res, err := dev.Run(context.Background(), l)
+//
+// The single-SM Device path is cycle-exact with this function. Run
+// remains for one release.
 func Run(cfg Config, l *Launch) (*Result, error) { return sm.Run(cfg, l) }
 
 // RunReference executes the launch on the functional reference

@@ -1,6 +1,7 @@
 package sbwi
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -32,13 +33,52 @@ func TestQuickstartFlow(t *testing.T) {
 	for i := range global {
 		global[i] = byte(i)
 	}
+	dev, err := NewDevice(WithArch(SBISWI))
+	if err != nil {
+		t.Fatal(err)
+	}
 	l := NewLaunch(tf, 4, 256, global, 0)
-	res, err := Run(Configure(SBISWI), l)
+	res, err := dev.Run(context.Background(), l)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Stats.IPC() <= 0 {
 		t.Errorf("IPC = %f", res.Stats.IPC())
+	}
+}
+
+func TestNewLaunchRejectsExcessParams(t *testing.T) {
+	prog, err := Assemble("scale", scaleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := make([]uint32, 17)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewLaunch must panic on more than 16 params instead of dropping them")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "17 kernel parameters") {
+			t.Errorf("panic message = %v", r)
+		}
+	}()
+	NewLaunch(prog, 1, 32, nil, params...)
+}
+
+func TestNewLaunchKeepsAllParams(t *testing.T) {
+	prog, err := Assemble("scale", scaleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := make([]uint32, 16)
+	for i := range params {
+		params[i] = uint32(i + 1)
+	}
+	l := NewLaunch(prog, 1, 32, nil, params...)
+	for i, v := range params {
+		if l.Params[i] != v {
+			t.Errorf("param %d = %d, want %d", i, l.Params[i], v)
+		}
 	}
 }
 
@@ -111,7 +151,11 @@ func TestBenchmarksExposed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(Configure(SWI), l)
+	dev, err := NewDevice(WithArch(SWI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.Run(context.Background(), l)
 	if err != nil {
 		t.Fatal(err)
 	}
