@@ -5,6 +5,7 @@
 //	sbwi list
 //	sbwi run -kernel MatrixMul [-arch SBI+SWI] [-all] [-json]
 //	sbwi run -kernel BFS -sms 4 -partition
+//	sbwi run -kernel Transpose -sms 4 -partition -l2 [-noc-bw 8] [-noc-lat 20]
 //	sbwi run -file kernel.asm -grid 4 -block 256 -global 65536 [-param N]...
 //	sbwi disasm -kernel BFS [-tf]
 //	sbwi pipeline-demo
@@ -89,14 +90,18 @@ func (p *uintList) Set(s string) error {
 	return nil
 }
 
-// runReport is the -json output for one simulation.
+// runReport is the -json output for one simulation. The L2/NoC
+// convenience fields summarize Stats.Mem.L2 and Stats.Mem.NoC; they
+// stay zero unless the shared memory system is modeled (-l2/-noc-bw).
 type runReport struct {
-	Kernel       string      `json:"kernel"`
-	Arch         string      `json:"arch"`
-	SMs          int         `json:"sms"`
-	IPC          float64     `json:"ipc"`
-	DeviceCycles int64       `json:"deviceCycles"`
-	Stats        *sbwi.Stats `json:"stats"`
+	Kernel         string      `json:"kernel"`
+	Arch           string      `json:"arch"`
+	SMs            int         `json:"sms"`
+	IPC            float64     `json:"ipc"`
+	DeviceCycles   int64       `json:"deviceCycles"`
+	L2HitRate      float64     `json:"l2HitRate"`
+	NoCQueueCycles uint64      `json:"nocQueueCycles"`
+	Stats          *sbwi.Stats `json:"stats"`
 }
 
 func run(args []string) error {
@@ -108,6 +113,9 @@ func run(args []string) error {
 	sms := fs.Int("sms", 1, "number of simulated SMs")
 	partition := fs.Bool("partition", false, "partition the grid across the SMs (CTA waves)")
 	workers := fs.Int("workers", 0, "host worker-pool bound (0 = GOMAXPROCS)")
+	l2 := fs.Bool("l2", false, "model the shared L2 + interconnect behind the L1s")
+	nocBW := fs.Float64("noc-bw", 0, "interconnect port bandwidth in bytes/cycle (>0 implies -l2; 0 leaves it unset)")
+	nocLat := fs.Int64("noc-lat", -1, "interconnect traversal latency in cycles (>=0 implies -l2; -1 leaves it unset)")
 	jsonOut := fs.Bool("json", false, "emit the merged statistics as JSON")
 	grid := fs.Int("grid", 4, "grid dimension (with -file)")
 	block := fs.Int("block", 256, "block dimension (with -file)")
@@ -134,18 +142,36 @@ func run(args []string) error {
 		name = *file
 	}
 
+	if *nocBW < 0 {
+		return fmt.Errorf("-noc-bw %g: port bandwidth must be positive (0 leaves it unset)", *nocBW)
+	}
+	if *nocLat < -1 {
+		return fmt.Errorf("-noc-lat %d: traversal latency must be non-negative (-1 leaves it unset)", *nocLat)
+	}
+	memsys := *l2 || *nocBW > 0 || *nocLat >= 0
 	var reports []runReport
 	if !*jsonOut {
 		fmt.Printf("%-10s %10s %8s %10s %10s %8s %8s\n",
 			"arch", "cycles", "IPC", "issues", "secondary", "diverge", "merges")
 	}
 	for _, a := range archs {
-		dev, err := sbwi.NewDevice(
+		opts := []sbwi.Option{
 			sbwi.WithArch(a),
 			sbwi.WithSMs(*sms),
 			sbwi.WithGridPartition(*partition),
 			sbwi.WithWorkers(*workers),
-		)
+		}
+		if memsys {
+			ncfg := sbwi.DefaultNoCConfig()
+			if *nocBW > 0 {
+				ncfg.BytesPerCycle = *nocBW
+			}
+			if *nocLat >= 0 {
+				ncfg.Latency = *nocLat
+			}
+			opts = append(opts, sbwi.WithL2(sbwi.DefaultL2Config()), sbwi.WithInterconnect(ncfg))
+		}
+		dev, err := sbwi.NewDevice(opts...)
 		if err != nil {
 			return err
 		}
@@ -190,13 +216,22 @@ func run(args []string) error {
 		if *jsonOut {
 			reports = append(reports, runReport{
 				Kernel: name, Arch: a.String(), SMs: *sms,
-				IPC: stats.IPC(), DeviceCycles: res.DeviceCycles(), Stats: stats,
+				IPC: stats.IPC(), DeviceCycles: res.DeviceCycles(),
+				L2HitRate:      stats.Mem.L2.HitRate(),
+				NoCQueueCycles: stats.Mem.NoC.QueueCycles,
+				Stats:          stats,
 			})
 			continue
 		}
 		fmt.Printf("%-10s %10d %8.2f %10d %10d %8d %8d\n",
 			a, stats.Cycles, stats.IPC(), stats.IssueSlots, stats.SecondaryIssues,
 			stats.Divergences, stats.Merges)
+		if memsys {
+			l2s := &stats.Mem.L2
+			fmt.Printf("%-10s   l2 hits %d misses %d (%.0f%%)  noc queue %d cycles (max %d)  device cycles %d\n",
+				"", l2s.Hits, l2s.Misses, 100*l2s.HitRate(),
+				stats.Mem.NoC.QueueCycles, stats.Mem.NoC.MaxQueueDelay, res.DeviceCycles())
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

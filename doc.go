@@ -70,6 +70,29 @@
 // same global location with the same value) instead of letting
 // scheduling order pick a winner.
 //
+// # Memory hierarchy
+//
+// By default every SM sees the paper's memory model: a private 48 KB
+// L1 in front of a flat-latency, bandwidth-limited DRAM port — the
+// configuration the reproduced figures assume. WithL2 and
+// WithInterconnect replace the flat model with a modeled multi-SM
+// hierarchy,
+//
+//	L1 (per SM) → NoC crossbar port → shared banked L2 → DRAM,
+//
+// where the crossbar charges per-port queueing and traversal latency
+// (NoCConfig), and the L2 is set-associative, banked and MSHR-backed
+// (L2Config) in front of the single shared DRAM port. Unpartitioned
+// runs time every L1 miss through that path inline; partitioned runs
+// replay all CTA waves' miss streams through one shared L2, so
+// Result.DeviceCycles reflects cross-SM contention — it grows as
+// interconnect ports narrow or more SMs share the L2 — while merged
+// statistics (including the Stats.Mem.L2 and Stats.Mem.NoC counters)
+// stay bit-identical for every SM and worker count. Both options are
+// off by default, which keeps default runs cycle-exact with the seed
+// reproduction; the "memory-hierarchy" experiment sweeps the port
+// bandwidth on the bandwidth-bound suite kernels.
+//
 // # Migrating from the v0 API
 //
 // The original one-shot entry points remain as deprecated wrappers for

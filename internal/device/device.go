@@ -29,6 +29,20 @@
 // modeled wall-clock: wave j runs on SM j mod N, and
 // Result.SMCycles/DeviceCycles report how the waves pack onto the
 // configured SMs.
+//
+// # Shared memory system
+//
+// WithL2 / WithInterconnect replace the seed's flat-latency DRAM model
+// with a modeled hierarchy: every SM's L1 misses and write-throughs
+// cross a crossbar port (package noc) into a banked, MSHR-backed
+// shared L2 (mem.L2) in front of the single DRAM port. Unpartitioned
+// runs time that path inline; partitioned runs record each wave's
+// DRAM-bound stream and replay all streams through one shared L2 —
+// see memsys.go for the two replay passes and why merged statistics
+// (including the new Stats.Mem.L2 / Stats.Mem.NoC counters) remain
+// bit-identical for every SM and worker count while SMCycles and
+// DeviceCycles become contention-aware. Both options are off by
+// default, keeping every default-path number seed-exact.
 package device
 
 import (
@@ -41,18 +55,27 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/noc"
 	"repro/internal/sm"
 )
 
 // Device is an N-SM simulation engine. It is immutable after New and
-// safe for concurrent use: every Run gets fresh SM instances, and the
-// device-wide worker semaphore is the only shared state.
+// safe for concurrent use: every Run gets fresh SM instances (and,
+// when the shared memory system is modeled, fresh L2/NoC instances),
+// and the device-wide worker semaphore is the only shared state.
 type Device struct {
 	cfg       sm.Config
 	sms       int
 	workers   int
 	partition bool
 	sem       chan struct{}
+
+	// memsys enables the modeled L1→NoC→L2→DRAM hierarchy; l2cfg and
+	// noccfg are its validated parameters.
+	memsys bool
+	l2cfg  mem.L2Config
+	noccfg noc.Config
 }
 
 // Option configures a Device. Options are applied in order; later
@@ -67,6 +90,8 @@ type settings struct {
 	sms       int
 	workers   int
 	partition bool
+	l2        *mem.L2Config
+	noc       *noc.Config
 }
 
 // WithArch selects the modeled micro-architecture (default SBI+SWI) and
@@ -105,6 +130,23 @@ func WithGridPartition(on bool) Option {
 	return func(s *settings) { s.partition = on }
 }
 
+// WithL2 puts a shared, banked L2 (and the interconnect reaching it —
+// noc.Default unless WithInterconnect overrides) between every SM's L1
+// and global memory. Off by default, which keeps the flat-latency DRAM
+// model and the seed-exact numbers; see the package comment for how
+// the modeled hierarchy affects partitioned and unpartitioned runs.
+func WithL2(cfg mem.L2Config) Option {
+	return func(s *settings) { c := cfg; s.l2 = &c }
+}
+
+// WithInterconnect sets the SM↔L2 crossbar parameters and enables the
+// modeled memory hierarchy (with mem.DefaultL2 unless WithL2 overrides
+// the cache itself). Narrower port bandwidth means more queueing and a
+// longer modeled device wall-clock.
+func WithInterconnect(cfg noc.Config) Option {
+	return func(s *settings) { c := cfg; s.noc = &c }
+}
+
 // WithModifier registers a configuration tweak applied after the base
 // architecture configuration is built. The public facade wraps this
 // into the typed options (WithShuffle, WithTrace, ...).
@@ -135,13 +177,31 @@ func New(opts ...Option) (*Device, error) {
 	if st.workers <= 0 {
 		st.workers = runtime.GOMAXPROCS(0)
 	}
-	return &Device{
+	d := &Device{
 		cfg:       cfg,
 		sms:       st.sms,
 		workers:   st.workers,
 		partition: st.partition,
 		sem:       make(chan struct{}, st.workers),
-	}, nil
+	}
+	if st.l2 != nil || st.noc != nil {
+		d.memsys = true
+		d.l2cfg = mem.DefaultL2()
+		if st.l2 != nil {
+			d.l2cfg = *st.l2
+		}
+		d.noccfg = noc.Default()
+		if st.noc != nil {
+			d.noccfg = *st.noc
+		}
+		if err := d.l2cfg.Validate(cfg.Mem.BlockBytes); err != nil {
+			return nil, fmt.Errorf("device: %w", err)
+		}
+		if err := d.noccfg.Validate(); err != nil {
+			return nil, fmt.Errorf("device: %w", err)
+		}
+	}
+	return d, nil
 }
 
 // Config returns a copy of the device's SM configuration.
@@ -185,12 +245,27 @@ func (d *Device) Run(ctx context.Context, l *exec.Launch) (*sm.Result, error) {
 		// Unpartitioned launch, a grid that fits in a single wave, or an
 		// over-subscribed block the SM will reject with its precise
 		// error: run whole on one SM over the live image, cycle-exact
-		// with the classic one-SM path.
+		// with the classic one-SM path. With the memory system modeled,
+		// the single SM's L1 talks to the L2 through its NoC port
+		// inline — one goroutine, so timing stays deterministic.
 		if err := d.acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer d.release()
-		return sm.RunRange(ctx, d.cfg, l, 0, l.GridDim)
+		if !d.memsys {
+			return sm.RunRange(ctx, d.cfg, l, 0, l.GridDim)
+		}
+		l2 := mem.NewL2(d.l2cfg, d.cfg.Mem)
+		xbar := noc.New(d.noccfg, 1)
+		res, err := sm.RunRangeOpts(ctx, d.cfg, l, 0, l.GridDim, sm.RunOpts{
+			Lower: &l2Port{xbar: xbar, port: 0, l2: l2, blockBytes: d.cfg.Mem.BlockBytes},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Mem.L2 = l2.Stats
+		res.Stats.Mem.NoC = xbar.Stats()
+		return res, nil
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -218,7 +293,8 @@ func (d *Device) Run(ctx context.Context, l *exec.Launch) (*sm.Result, error) {
 			wl := *l
 			wl.Global = make([]byte, len(base))
 			copy(wl.Global, base)
-			res, err := sm.RunRange(ctx, d.cfg, &wl, start, end)
+			res, err := sm.RunRangeOpts(ctx, d.cfg, &wl, start, end,
+				sm.RunOpts{RecordMemTrace: d.memsys})
 			if err != nil {
 				runs[i].err = err
 				cancel()
@@ -262,6 +338,13 @@ func (d *Device) Run(ctx context.Context, l *exec.Launch) (*sm.Result, error) {
 		out.Waves[i] = r.res.Stats
 		out.Stats.Merge(&r.res.Stats)
 		out.SMCycles[i%d.sms] += r.res.Stats.Cycles
+	}
+	if d.memsys {
+		traces := make([][]mem.Access, len(runs))
+		for i, r := range runs {
+			traces[i] = r.res.MemTrace
+		}
+		d.modelContention(out, traces)
 	}
 	return out, nil
 }

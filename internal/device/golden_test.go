@@ -1,0 +1,130 @@
+package device
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/sm"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_stats.json from the current simulator")
+
+// goldenEntry pins the headline per-benchmark numbers of the default
+// configuration (one SBI+SWI SM, flat-latency DRAM — the paper
+// reproduction path). Any drift here changes the reproduced figures.
+type goldenEntry struct {
+	Cycles       int64   `json:"cycles"`
+	ThreadInstrs uint64  `json:"threadInstrs"`
+	IssueSlots   uint64  `json:"issueSlots"`
+	IPC          float64 `json:"ipc"`
+	L1Hits       uint64  `json:"l1Hits"`
+	L1Misses     uint64  `json:"l1Misses"`
+}
+
+func goldenFromStats(s *sm.Stats) goldenEntry {
+	return goldenEntry{
+		Cycles:       s.Cycles,
+		ThreadInstrs: s.ThreadInstrs,
+		IssueSlots:   s.IssueSlots,
+		IPC:          math.Round(s.IPC()*10000) / 10000,
+		L1Hits:       s.Mem.Hits,
+		L1Misses:     s.Mem.Misses,
+	}
+}
+
+const goldenPath = "testdata/golden_stats.json"
+
+// TestGoldenStats simulates the whole suite under the default device
+// configuration and compares every benchmark's headline statistics
+// against the checked-in fixture. It fails with one readable line per
+// drifted number; run with -update to rewrite the fixture after an
+// intentional timing-model change.
+func TestGoldenStats(t *testing.T) {
+	dev, err := New(WithArch(sm.ArchSBISWI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := dev.RunSuite(context.Background(), kernels.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]goldenEntry, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name(), r.Err)
+		}
+		got[r.Name()] = goldenFromStats(&r.Result.Stats)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d benchmarks", goldenPath, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden fixture (regenerate with -update): %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+
+	var drift []string
+	names := make([]string, 0, len(want))
+	for name := range want {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := want[name]
+		g, ok := got[name]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("%s: missing from the suite", name))
+			continue
+		}
+		for _, d := range []struct {
+			field     string
+			got, want interface{}
+		}{
+			{"cycles", g.Cycles, w.Cycles},
+			{"threadInstrs", g.ThreadInstrs, w.ThreadInstrs},
+			{"issueSlots", g.IssueSlots, w.IssueSlots},
+			{"ipc", g.IPC, w.IPC},
+			{"l1Hits", g.L1Hits, w.L1Hits},
+			{"l1Misses", g.L1Misses, w.L1Misses},
+		} {
+			if d.got != d.want {
+				drift = append(drift, fmt.Sprintf("%-22s %-13s got %-12v want %v", name, d.field, d.got, d.want))
+			}
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			drift = append(drift, fmt.Sprintf("%s: new benchmark not in the fixture (run -update)", name))
+		}
+	}
+	if len(drift) > 0 {
+		t.Errorf("default-config statistics drifted from the golden fixture (%d numbers):\n  %s\nIf the change is intentional, regenerate with `go test ./internal/device -run TestGoldenStats -update`.",
+			len(drift), strings.Join(drift, "\n  "))
+	}
+}

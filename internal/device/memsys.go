@@ -1,0 +1,156 @@
+package device
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sm"
+)
+
+// The modeled shared memory system (WithL2 / WithInterconnect).
+//
+// Unpartitioned runs route the single SM's L1 misses through an
+// interconnect port into the shared L2 inline (l2Port below): one
+// goroutine drives the whole system, so timing is naturally
+// deterministic and Stats.Cycles itself reflects the L1→NoC→L2→DRAM
+// path.
+//
+// Partitioned runs keep the wave simulations embarrassingly parallel
+// — each wave records its DRAM-bound transaction stream while running
+// under the seed's flat-latency model — and the device then replays
+// the recorded streams through the shared L2 and crossbar in two
+// single-threaded passes:
+//
+//  1. A canonical pass in (wave-local cycle, wave index) order, with
+//     one crossbar port per wave, produces the L2/NoC counters merged
+//     into Result.Stats. Its ordering never references the SM count or
+//     the host workers, so merged statistics stay bit-identical for
+//     any WithSMs/WithWorkers setting — the determinism contract the
+//     rest of the engine already honors.
+//  2. A timing pass in device-time order — wave j runs on SM j mod N,
+//     waves on one SM execute back-to-back, so each wave's transactions
+//     shift by its SM-local start offset — stretches every SM's busy
+//     time by the worst lag of its load data behind the recorded
+//     flat-latency schedule (modeled NoC queue + L2 bank + shared DRAM
+//     port return time, minus the return time the wave simulation
+//     assumed). Taking the maximum rather than the sum models the
+//     memory-level parallelism the SM pipeline already exploits:
+//     overlapping delays do not add, while under sustained bandwidth
+//     saturation the lag of the last transaction grows with the whole
+//     stream's overflow, which yields the correct
+//     traffic/shared-bandwidth asymptote. The per-SM stretches land in
+//     Result.SMCycles, making DeviceCycles contention-aware: narrower
+//     ports or more SMs sharing the L2 mean more queueing and a longer
+//     modeled wall-clock.
+//
+// The split is a deliberate modeling choice, not an accident: the
+// reference stream (what is fetched, in program order) is kept
+// SM-count independent, and the SM count only reshapes time.
+
+// l2Port is the mem.Lower an inline run's L1 talks to: one crossbar
+// port in front of the shared L2.
+type l2Port struct {
+	xbar       *noc.Crossbar
+	port       int
+	l2         *mem.L2
+	blockBytes int
+}
+
+func (p *l2Port) Access(now int64, store bool, block uint32) int64 {
+	deliver := p.xbar.Send(p.port, now, p.blockBytes)
+	return p.l2.Access(deliver, block, store)
+}
+
+// replayEvent is one recorded transaction placed on the replay
+// timeline.
+type replayEvent struct {
+	at   int64 // replay-order arrival cycle
+	port int   // crossbar port (wave index or SM index, per pass)
+	seq  int   // tie-break: global sequence in (wave, intra-wave) order
+	ev   mem.Access
+	base int64 // flat-latency return time on the same timeline (loads)
+}
+
+// sortEvents orders a replay timeline deterministically.
+func sortEvents(events []replayEvent) {
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].seq < events[j].seq
+	})
+}
+
+// replay drives events (already sorted) through a fresh crossbar and
+// L2, returning both and each port's schedule stretch: the worst lag
+// of a load's modeled return time behind its flat-latency baseline,
+// never negative (data arriving early cannot compress a schedule that
+// already consumed it on time).
+func (d *Device) replay(events []replayEvent, ports int) (*noc.Crossbar, *mem.L2, []int64) {
+	xbar := noc.New(d.noccfg, ports)
+	l2 := mem.NewL2(d.l2cfg, d.cfg.Mem)
+	stretch := make([]int64, ports)
+	for _, e := range events {
+		deliver := xbar.Send(e.port, e.at, d.cfg.Mem.BlockBytes)
+		ready := l2.Access(deliver, e.ev.Block, e.ev.Store)
+		if !e.ev.Store {
+			if lag := ready - e.base; lag > stretch[e.port] {
+				stretch[e.port] = lag
+			}
+		}
+	}
+	return xbar, l2, stretch
+}
+
+// modelContention fills the merged result's shared-memory-system
+// counters and re-times SMCycles from the waves' recorded transaction
+// streams; see the file comment for the model.
+func (d *Device) modelContention(out *sm.Result, traces [][]mem.Access) {
+	// Pass 1: canonical reference stream, one port per wave, ordered by
+	// (wave-local cycle, wave index) — independent of SMs and workers.
+	var events []replayEvent
+	seq := 0
+	for w, tr := range traces {
+		for _, ev := range tr {
+			events = append(events, replayEvent{at: ev.Cycle, port: w, seq: seq, ev: ev})
+			seq++
+		}
+	}
+	// seq increments in (wave, intra-wave) order, so same-cycle ties
+	// resolve canonically by wave index.
+	sortEvents(events)
+	xbar, l2, _ := d.replay(events, len(traces))
+	out.Stats.Mem.L2 = l2.Stats
+	out.Stats.Mem.NoC = xbar.Stats()
+
+	// Pass 2: device-time replay across the configured SMs. Wave j runs
+	// on SM j mod N starting at the sum of its predecessors' cycles on
+	// that SM (the same packing SMCycles already models).
+	offsets := make([]int64, len(traces))
+	smBusy := make([]int64, d.sms)
+	for w := range traces {
+		smID := w % d.sms
+		offsets[w] = smBusy[smID]
+		smBusy[smID] += out.Waves[w].Cycles
+	}
+	timed := events[:0] // reuse the backing array; same length
+	seq = 0
+	for w, tr := range traces {
+		for _, ev := range tr {
+			timed = append(timed, replayEvent{
+				at:   offsets[w] + ev.Cycle,
+				port: w % d.sms,
+				seq:  seq,
+				ev:   ev,
+				base: offsets[w] + ev.Ready,
+			})
+			seq++
+		}
+	}
+	sortEvents(timed)
+	_, _, stretch := d.replay(timed, d.sms)
+	for i := range out.SMCycles {
+		out.SMCycles[i] += stretch[i]
+	}
+}

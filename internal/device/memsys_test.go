@@ -1,0 +1,193 @@
+package device
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sm"
+)
+
+// memsysSuite returns multi-wave benchmarks with enough global-memory
+// traffic to exercise the shared L2 and interconnect.
+func memsysSuite(t *testing.T) []*kernels.Benchmark {
+	t.Helper()
+	var out []*kernels.Benchmark
+	for _, name := range []string{"Histogram", "BFS", "DWTHaar1D"} {
+		b, ok := kernels.ByName(name)
+		if !ok {
+			t.Fatalf("benchmark %s missing", name)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestSharedMemSysDeterminism pins the determinism contract of the new
+// shared state: with the L2 and interconnect modeled, RunSuite over
+// partitioned launches must produce bit-identical merged statistics —
+// including the L2/NoC counters — for every SM and worker count. Run
+// under -race in CI, this also proves the wave simulations and the
+// device-level replay share no unsynchronized state.
+func TestSharedMemSysDeterminism(t *testing.T) {
+	suite := memsysSuite(t)
+	type combo struct{ sms, workers int }
+	combos := []combo{{1, 1}, {1, 4}, {2, 1}, {2, 4}, {8, 1}, {8, 4}}
+	var baseline []sm.Stats
+	for _, c := range combos {
+		dev, err := New(
+			WithArch(sm.ArchSBISWI),
+			WithSMs(c.sms),
+			WithWorkers(c.workers),
+			WithGridPartition(true),
+			WithL2(mem.DefaultL2()),
+			WithInterconnect(noc.Default()),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := dev.RunSuite(context.Background(), suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := make([]sm.Stats, len(results))
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("SMs %d workers %d: %s: %v", c.sms, c.workers, r.Name(), r.Err)
+			}
+			stats[i] = r.Result.Stats
+		}
+		if baseline == nil {
+			baseline = stats
+			continue
+		}
+		for i := range stats {
+			if !reflect.DeepEqual(stats[i], baseline[i]) {
+				t.Errorf("SMs %d workers %d: %s: merged stats differ from the %d-SM/%d-worker baseline\n got: %+v\nwant: %+v",
+					c.sms, c.workers, suite[i].Name, combos[0].sms, combos[0].workers,
+					stats[i].Mem, baseline[i].Mem)
+			}
+		}
+	}
+}
+
+// TestMemSysCountersNonzero asserts the acceptance signal on a
+// bandwidth-bound benchmark: partitioned multi-SM runs behind the
+// shared L2 produce nonzero L2 hit/miss and NoC queueing counters.
+func TestMemSysCountersNonzero(t *testing.T) {
+	b, ok := kernels.ByName("Histogram")
+	if !ok {
+		t.Fatal("Histogram missing")
+	}
+	dev, err := New(
+		WithArch(sm.ArchSBISWI),
+		WithSMs(4),
+		WithGridPartition(true),
+		WithL2(mem.DefaultL2()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := b.NewLaunch(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.Run(context.Background(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := &res.Stats.Mem.L2
+	if l2.Hits == 0 || l2.Misses == 0 {
+		t.Errorf("L2 hits %d misses %d: both must be nonzero", l2.Hits, l2.Misses)
+	}
+	if res.Stats.Mem.NoC.Requests == 0 || res.Stats.Mem.NoC.QueueCycles == 0 {
+		t.Errorf("NoC stats %+v: requests and queueing must be nonzero", res.Stats.Mem.NoC)
+	}
+	// Every replayed L2 read came from a recorded L1 miss fill; misses
+	// merged into an outstanding fill (no new transaction) may make the
+	// L2 see fewer reads than the L1 counted misses, never more.
+	if got, flat := res.Stats.Mem.L2.Loads, res.Stats.Mem.Misses; got == 0 || got > flat {
+		t.Errorf("L2 read requests %d: want nonzero and at most the %d merged L1 misses", got, flat)
+	}
+}
+
+// TestDeviceCyclesMonotoneInBandwidth sweeps the interconnect port
+// bandwidth downward on a partitioned run and asserts the modeled
+// wall-clock never shrinks.
+func TestDeviceCyclesMonotoneInBandwidth(t *testing.T) {
+	b, ok := kernels.ByName("Transpose")
+	if !ok {
+		t.Fatal("Transpose missing")
+	}
+	prev := int64(0)
+	for _, bw := range []float64{64, 16, 4, 1} {
+		ncfg := noc.Default()
+		ncfg.BytesPerCycle = bw
+		dev, err := New(
+			WithArch(sm.ArchSBISWI),
+			WithSMs(4),
+			WithGridPartition(true),
+			WithInterconnect(ncfg),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := b.NewLaunch(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dev.Run(context.Background(), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc := res.DeviceCycles()
+		if dc < prev {
+			t.Errorf("device cycles %d at %gB/c below %d at the wider port", dc, bw, prev)
+		}
+		prev = dc
+	}
+}
+
+// TestInlineMemSysRun checks the unpartitioned path: a single-SM run
+// with the memory system modeled routes misses through the NoC+L2
+// inline, surfaces the counters, and runs no faster than the same
+// launch under the flat model plus the pure wire latency.
+func TestInlineMemSysRun(t *testing.T) {
+	b, ok := kernels.ByName("BFS")
+	if !ok {
+		t.Fatal("BFS missing")
+	}
+	run := func(opts ...Option) *sm.Result {
+		t.Helper()
+		dev, err := New(append([]Option{WithArch(sm.ArchSBISWI)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := b.NewLaunch(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dev.Run(context.Background(), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	flat := run()
+	modeled := run(WithL2(mem.DefaultL2()))
+	if modeled.Stats.Mem.L2.Loads == 0 || modeled.Stats.Mem.NoC.Requests == 0 {
+		t.Errorf("inline run surfaced no L2/NoC traffic: %+v", modeled.Stats.Mem)
+	}
+	if flat.Stats.Mem.L2.Loads != 0 || flat.Stats.Mem.NoC.Requests != 0 {
+		t.Errorf("flat run must keep L2/NoC counters zero: %+v", flat.Stats.Mem)
+	}
+	// Functional results are oracle-checked by RunSuite elsewhere; here
+	// pin that the instruction stream is identical and only timing moved.
+	if modeled.Stats.ThreadInstrs != flat.Stats.ThreadInstrs {
+		t.Errorf("modeled memory system changed the instruction count: %d vs %d",
+			modeled.Stats.ThreadInstrs, flat.Stats.ThreadInstrs)
+	}
+}

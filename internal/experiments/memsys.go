@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/kernels"
+	"repro/internal/noc"
+	"repro/internal/sm"
+)
+
+// memsysBenches are the suite kernels whose global-memory traffic is
+// heavy enough for the shared L2 and interconnect to matter: their
+// grids span several CTA waves and their miss streams approach the
+// DRAM port's sustained bandwidth.
+var memsysBenches = []string{"Transpose", "BFS", "Histogram"}
+
+// memsysBandwidths are the studied per-port interconnect bandwidths in
+// bytes/cycle, widest first.
+var memsysBandwidths = []float64{32, 8, 2}
+
+// MemoryHierarchy studies the modeled shared memory system: each
+// bandwidth-bound benchmark runs partitioned across 4 SMs behind the
+// shared L2, sweeping the interconnect port bandwidth. Columns report
+// the modeled device wall-clock (DeviceCycles) per bandwidth, plus the
+// L2 read hit rate and total NoC queueing at the widest setting. The
+// wall-clock must grow as the ports narrow — the contention signal the
+// flat-latency model could not express.
+func (r *Runner) MemoryHierarchy() (*Table, error) {
+	const sms = 4
+	t := &Table{
+		Title: fmt.Sprintf("Shared L2 + interconnect: device cycles on %d SMs vs. NoC port bandwidth", sms),
+		Note:  "flat column: seed flat-latency DRAM model (no L2/NoC); hit rate and queue cycles reported at the widest port",
+		Cols:  []string{"flat"},
+	}
+	for _, bw := range memsysBandwidths {
+		t.Cols = append(t.Cols, fmt.Sprintf("%gB/c", bw))
+	}
+	t.Cols = append(t.Cols, "L2 hit%", "NoC queue")
+
+	for _, name := range memsysBenches {
+		b, ok := kernels.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: benchmark %s missing", name)
+		}
+		row := Row{Name: name}
+
+		flat, err := memsysRun(b, sms, nil)
+		if err != nil {
+			return nil, err
+		}
+		row.Cells = append(row.Cells, num(float64(flat.DeviceCycles())))
+
+		var widest *sm.Result
+		for _, bw := range memsysBandwidths {
+			ncfg := noc.Default()
+			ncfg.BytesPerCycle = bw
+			res, err := memsysRun(b, sms, &ncfg)
+			if err != nil {
+				return nil, err
+			}
+			if widest == nil {
+				widest = res
+			}
+			row.Cells = append(row.Cells, num(float64(res.DeviceCycles())))
+		}
+		l2 := &widest.Stats.Mem.L2
+		row.Cells = append(row.Cells,
+			str(fmt.Sprintf("%.1f", 100*l2.HitRate())),
+			str(fmt.Sprintf("%d", widest.Stats.Mem.NoC.QueueCycles)))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// memsysRun simulates one benchmark partitioned across the SMs, with
+// the shared memory system enabled when ncfg is non-nil.
+func memsysRun(b *kernels.Benchmark, sms int, ncfg *noc.Config) (*sm.Result, error) {
+	opts := []device.Option{
+		device.WithArch(sm.ArchSBISWI),
+		device.WithSMs(sms),
+		device.WithGridPartition(true),
+	}
+	if ncfg != nil {
+		opts = append(opts, device.WithInterconnect(*ncfg))
+	}
+	dev, err := device.New(opts...)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	l, err := b.NewLaunch(true)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dev.Run(context.Background(), l)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
+	}
+	return res, nil
+}

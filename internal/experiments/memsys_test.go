@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestMemoryHierarchyTable exercises the shared-memory-system study
+// end to end and asserts the acceptance properties of the model: on a
+// bandwidth-bound benchmark the L2 and NoC counters are nonzero, and
+// the modeled device wall-clock grows monotonically as the
+// interconnect ports narrow.
+func TestMemoryHierarchyTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	r := NewRunner()
+	tab, err := r.MemoryHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(memsysBenches) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(memsysBenches))
+	}
+	// Columns: flat, one per bandwidth, L2 hit%, NoC queue.
+	wantCols := 1 + len(memsysBandwidths) + 2
+	sawHits := false
+	for _, row := range tab.Rows {
+		if len(row.Cells) != wantCols {
+			t.Fatalf("%s: %d cells, want %d", row.Name, len(row.Cells), wantCols)
+		}
+		flat := row.Cells[0].Val
+		prev := flat
+		for i := range memsysBandwidths {
+			dc := row.Cells[1+i].Val
+			if dc < prev {
+				t.Errorf("%s: device cycles %f at %gB/c below %f at the wider setting — wall-clock must grow as ports narrow",
+					row.Name, dc, memsysBandwidths[i], prev)
+			}
+			prev = dc
+		}
+		if row.Cells[1].Val < flat {
+			t.Errorf("%s: modeled wall-clock %f below the flat model's %f", row.Name, row.Cells[1].Val, flat)
+		}
+		hitPct, err := strconv.ParseFloat(row.Cells[wantCols-2].Str, 64)
+		if err != nil {
+			t.Fatalf("%s: hit-rate cell %q: %v", row.Name, row.Cells[wantCols-2].Str, err)
+		}
+		queue, err := strconv.ParseFloat(row.Cells[wantCols-1].Str, 64)
+		if err != nil {
+			t.Fatalf("%s: queue cell %q: %v", row.Name, row.Cells[wantCols-1].Str, err)
+		}
+		if hitPct > 0 {
+			sawHits = true
+		}
+		if queue <= 0 {
+			t.Errorf("%s: NoC queueing counter is zero — the study kernels must exert port pressure", row.Name)
+		}
+	}
+	if !sawHits {
+		t.Error("no benchmark produced L2 hits — the shared L2 never saw reuse")
+	}
+}

@@ -109,6 +109,7 @@ var Experiments = []string{
 	"fig7a", "fig7b", "fig8a", "fig8b", "fig9",
 	"table2", "table3", "table4",
 	"ablation-scoreboard", "ablation-memsplit", "heap-pressure",
+	"memory-hierarchy",
 }
 
 // Run executes one experiment by name.
@@ -136,6 +137,8 @@ func (r *Runner) Run(name string) (*Table, error) {
 		return r.AblationMemSplit()
 	case "heap-pressure":
 		return r.HeapPressure()
+	case "memory-hierarchy":
+		return r.MemoryHierarchy()
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Experiments)
 }

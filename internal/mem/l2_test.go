@@ -1,0 +1,186 @@
+package mem
+
+import "testing"
+
+// tinyL2 is a 4-set, 2-way, 2-bank L2 over 128-byte blocks: 2 KB.
+func tinyL2() (*L2, Config) {
+	mc := Default()
+	l2 := NewL2(L2Config{
+		Bytes: 2 * 1024, Ways: 2, Banks: 2,
+		HitLatency: 10, BytesPerCycle: 32,
+	}, mc)
+	return l2, mc
+}
+
+func TestL2ValidateGeometry(t *testing.T) {
+	ok := DefaultL2()
+	if err := ok.Validate(128); err != nil {
+		t.Fatal(err)
+	}
+	bad := []L2Config{
+		{Bytes: 0, Ways: 1, Banks: 1, BytesPerCycle: 1},
+		{Bytes: 1024, Ways: 3, Banks: 1, BytesPerCycle: 1}, // 1024 % (128*3) != 0
+		{Bytes: 1024, Ways: 2, Banks: 3, BytesPerCycle: 1}, // 1024 % (128*2*3) != 0
+		{Bytes: 1024, Ways: 2, Banks: 2, BytesPerCycle: 0}, // no bandwidth
+		{Bytes: 1024, Ways: 2, Banks: 2, HitLatency: -1, BytesPerCycle: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(128); err == nil {
+			t.Errorf("config %+v must be rejected", c)
+		}
+	}
+}
+
+func TestL2MissThenHit(t *testing.T) {
+	l2, mc := tinyL2()
+	miss := l2.Access(0, 0, false)
+	if want := mc.MemLatency; miss != want {
+		t.Errorf("cold miss ready at %d, want %d", miss, want)
+	}
+	hit := l2.Access(miss, 0, false)
+	if want := miss + 10; hit != want {
+		t.Errorf("hit ready at %d, want %d", hit, want)
+	}
+	if l2.Stats.Misses != 1 || l2.Stats.Hits != 1 {
+		t.Errorf("stats = %+v", l2.Stats)
+	}
+	if l2.Stats.BytesFromMem != 128 {
+		t.Errorf("BytesFromMem = %d", l2.Stats.BytesFromMem)
+	}
+}
+
+func TestL2MSHRMerge(t *testing.T) {
+	l2, _ := tinyL2()
+	first := l2.Access(0, 0, false)
+	// Second request for the same in-flight block: merged, no new DRAM
+	// traffic.
+	second := l2.Access(1, 0, false)
+	if second != first {
+		t.Errorf("merged request ready at %d, want the fill's %d", second, first)
+	}
+	if l2.Stats.MSHRMerges != 1 || l2.Stats.BytesFromMem != 128 {
+		t.Errorf("stats = %+v", l2.Stats)
+	}
+}
+
+func TestL2Eviction(t *testing.T) {
+	l2, _ := tinyL2()
+	// 4 sets x 2 ways x 2 banks? nsets = 2048/(128*2) = 8 sets total;
+	// blocks that map to the same set are 8*128 bytes apart. Fill 3 of
+	// them: third fill evicts the LRU first.
+	for i, addr := range []uint32{0, 8 * 128, 16 * 128} {
+		l2.Access(int64(1000*i), addr, false)
+	}
+	if l2.Stats.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", l2.Stats.Evictions)
+	}
+	// The evicted block misses again; the survivor still hits.
+	l2.Access(5000, 8*128, false)
+	if l2.Stats.Hits != 1 {
+		t.Errorf("hits = %d, want 1 (survivor)", l2.Stats.Hits)
+	}
+}
+
+func TestL2StoreWriteThrough(t *testing.T) {
+	l2, _ := tinyL2()
+	l2.Access(0, 0, true)
+	if l2.Stats.Stores != 1 || l2.Stats.BytesToMem != 128 {
+		t.Errorf("stats = %+v", l2.Stats)
+	}
+	// No-allocate: the next load misses.
+	l2.Access(10, 0, false)
+	if l2.Stats.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (stores must not allocate)", l2.Stats.Misses)
+	}
+}
+
+func TestL2BankConflicts(t *testing.T) {
+	l2, _ := tinyL2()
+	// Same bank (bank = block % 2): blocks 0 and 2. Service time is
+	// 128/32 = 4 cycles, so the second same-cycle access stalls 4.
+	l2.Access(0, 0, false)
+	l2.Access(0, 2*128, false)
+	if l2.Stats.BankStalls != 4 {
+		t.Errorf("BankStalls = %d, want 4", l2.Stats.BankStalls)
+	}
+	// Different bank: no added stall.
+	before := l2.Stats.BankStalls
+	l2.Access(0, 1*128, false)
+	if l2.Stats.BankStalls != before {
+		t.Errorf("cross-bank access added stalls: %d -> %d", before, l2.Stats.BankStalls)
+	}
+}
+
+func TestL2StatsMerge(t *testing.T) {
+	a := L2Stats{Loads: 1, Stores: 2, Hits: 3, Misses: 4, MSHRMerges: 5,
+		Evictions: 6, BankStalls: 7, BytesFromMem: 8, BytesToMem: 9}
+	b := a
+	a.Merge(&b)
+	want := L2Stats{Loads: 2, Stores: 4, Hits: 6, Misses: 8, MSHRMerges: 10,
+		Evictions: 12, BankStalls: 14, BytesFromMem: 16, BytesToMem: 18}
+	if a != want {
+		t.Errorf("merged = %+v, want %+v", a, want)
+	}
+}
+
+func TestL2HitRate(t *testing.T) {
+	s := L2Stats{}
+	if s.HitRate() != 0 {
+		t.Error("zero stats must have zero hit rate")
+	}
+	s = L2Stats{Loads: 4, Hits: 3}
+	if got := s.HitRate(); got != 0.75 {
+		t.Errorf("hit rate = %g", got)
+	}
+}
+
+// fixedLower stamps a constant extra latency, for hierarchy routing
+// tests.
+type fixedLower struct {
+	calls []Access
+	l     int64
+}
+
+func (f *fixedLower) Access(now int64, store bool, block uint32) int64 {
+	f.calls = append(f.calls, Access{Cycle: now, Block: block, Store: store})
+	return now + f.l
+}
+
+func TestHierarchyRoutesThroughLower(t *testing.T) {
+	h := NewHierarchy(Default())
+	low := &fixedLower{l: 77}
+	h.SetLower(low)
+	if got := h.Load(0, 0); got != 77 {
+		t.Errorf("miss ready = %d, want the lower level's 77", got)
+	}
+	h.Store(5, 128)
+	if len(low.calls) != 2 || low.calls[0].Store || !low.calls[1].Store {
+		t.Errorf("lower calls = %+v", low.calls)
+	}
+	// A hit must not consult the lower level.
+	n := len(low.calls)
+	if got := h.Load(200, 0); got != 203 {
+		t.Errorf("hit ready = %d, want 203", got)
+	}
+	if len(low.calls) != n {
+		t.Error("L1 hit reached the lower level")
+	}
+}
+
+func TestHierarchyRecordsTrace(t *testing.T) {
+	h := NewHierarchy(Default())
+	h.Record(true)
+	h.Load(0, 0)    // miss -> recorded
+	h.Load(400, 0)  // hit -> not recorded
+	h.Store(500, 0) // write-through -> recorded
+	tr := h.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("trace length = %d, want 2: %+v", len(tr), tr)
+	}
+	if tr[0].Store || tr[0].Cycle != 0 || tr[0].Ready != h.Config().MemLatency {
+		t.Errorf("trace[0] = %+v", tr[0])
+	}
+	if !tr[1].Store || tr[1].Cycle != 500 {
+		t.Errorf("trace[1] = %+v", tr[1])
+	}
+}

@@ -7,11 +7,19 @@
 // which merges the parallel accesses of a 32-lane wave into unique
 // 128-byte transactions; partial conflicts are replayed by the pipeline
 // with updated activity masks, one transaction per LSU cycle.
+//
+// For multi-SM devices the package additionally models a shared,
+// banked, MSHR-backed L2 (see L2 and L2Config) that the device layer
+// places between every SM's L1 and the DRAM port, reached through the
+// interconnect of package noc. An L1 Hierarchy talks to it through the
+// Lower interface (SetLower) or records its DRAM-bound stream (Record)
+// for the device's deterministic contention replay; under the default
+// flat-latency model both stay disabled and timing is unchanged from
+// the seed.
 package mem
 
 import (
-	"fmt"
-	"math"
+	"repro/internal/noc"
 )
 
 // Config collects the memory-hierarchy parameters.
@@ -49,6 +57,15 @@ type Stats struct {
 	Evictions         uint64
 	CoalescedAccesses uint64 // lanes served by all transactions
 	Transactions      uint64 // unique transactions after coalescing
+
+	// L2 and NoC hold the shared-memory-system counters when the device
+	// models the L1→NoC→L2→DRAM hierarchy (WithL2/WithInterconnect);
+	// they stay zero under the default flat-latency DRAM model. For
+	// partitioned launches they are filled at the device level from the
+	// canonical replay of all waves' miss streams, so per-wave Stats
+	// carry only the L1-side counters.
+	L2  L2Stats
+	NoC noc.Stats
 }
 
 // Merge folds another hierarchy's statistics into s: counters add,
@@ -68,28 +85,47 @@ func (s *Stats) Merge(o *Stats) {
 	s.Evictions += o.Evictions
 	s.CoalescedAccesses += o.CoalescedAccesses
 	s.Transactions += o.Transactions
+	s.L2.Merge(&o.L2)
+	s.NoC.Merge(&o.NoC)
 }
 
-type line struct {
-	tag   uint32
-	valid bool
-	lru   uint64
-	ready int64 // cycle the fill data actually arrives (hit-under-fill)
+// Lower services the traffic an L1 sends below itself — load-miss
+// fills and write-through stores — in place of the hierarchy's
+// built-in flat-latency DRAM port. The device wires an interconnect
+// port backed by the shared L2 here. Access is called with the cycle
+// the transaction leaves the L1 and returns the cycle its data is
+// available back at the L1 (for stores the return value is unused).
+type Lower interface {
+	Access(now int64, store bool, blockAddr uint32) int64
+}
+
+// Access is one recorded L1-to-memory transaction: a load fill or a
+// write-through store, in issue order. Ready is the data-return cycle
+// the flat-latency model charged, which the device's contention replay
+// uses as the per-transaction baseline.
+type Access struct {
+	Cycle int64
+	Block uint32
+	Store bool
+	Ready int64
 }
 
 // Hierarchy is one SM's view of the memory system. It is purely a timing
 // model: data values live in the launch's memory image.
 type Hierarchy struct {
-	cfg   Config
-	sets  [][]line
-	nsets uint32
-	tick  uint64 // LRU clock
+	cfg  Config
+	arr  cacheArray
+	port noc.Link // flat-latency DRAM port (unused when lower is set)
+	mshr mshrTable
 
-	// DRAM port: the cycle (fractional) at which the port next frees.
-	portFree float64
+	// lower, when non-nil, services miss fills and write-throughs in
+	// place of the flat-latency DRAM port (the modeled NoC+L2 path).
+	lower Lower
 
-	// Outstanding fills by block address.
-	mshr map[uint32]int64
+	// trace, when recording, accumulates the DRAM-bound transaction
+	// stream for the device's shared-L2 replay.
+	trace     []Access
+	recording bool
 
 	Stats Stats
 }
@@ -97,82 +133,48 @@ type Hierarchy struct {
 // NewHierarchy builds a hierarchy for cfg. It panics on nonsensical
 // geometry (internal configuration error, not user input).
 func NewHierarchy(cfg Config) *Hierarchy {
-	if cfg.BlockBytes <= 0 || cfg.L1Ways <= 0 || cfg.L1Bytes%(cfg.BlockBytes*cfg.L1Ways) != 0 {
-		panic(fmt.Sprintf("mem: invalid L1 geometry %+v", cfg))
-	}
-	nsets := cfg.L1Bytes / (cfg.BlockBytes * cfg.L1Ways)
-	sets := make([][]line, nsets)
-	backing := make([]line, nsets*cfg.L1Ways)
-	for i := range sets {
-		sets[i] = backing[i*cfg.L1Ways : (i+1)*cfg.L1Ways]
-	}
 	return &Hierarchy{
-		cfg:   cfg,
-		sets:  sets,
-		nsets: uint32(nsets),
-		mshr:  make(map[uint32]int64),
+		cfg:  cfg,
+		arr:  newCacheArray(cfg.L1Bytes, cfg.L1Ways, cfg.BlockBytes),
+		port: noc.NewLink(cfg.BytesPerCycle, cfg.MemLatency),
+		mshr: make(mshrTable),
 	}
 }
 
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
+// SetLower routes the L1's miss fills and write-throughs through l
+// instead of the flat-latency DRAM port. Pass nil to restore the
+// default. Mutually exclusive with Record: the recorded stream exists
+// to replay the flat-latency run through a shared L2 afterwards.
+func (h *Hierarchy) SetLower(l Lower) { h.lower = l }
+
+// Record enables (or disables) recording of the DRAM-bound transaction
+// stream; Trace returns it.
+func (h *Hierarchy) Record(on bool) { h.recording = on }
+
+// Trace returns the recorded transaction stream in issue order.
+func (h *Hierarchy) Trace() []Access { return h.trace }
+
+// below sends one transaction to the next level — the configured Lower
+// or the built-in DRAM port — recording it when enabled.
+func (h *Hierarchy) below(now int64, store bool, blockAddr uint32) int64 {
+	var ready int64
+	if h.lower != nil {
+		ready = h.lower.Access(now, store, blockAddr)
+	} else {
+		ready = h.port.Reserve(now, h.cfg.BlockBytes)
+	}
+	if h.recording {
+		h.trace = append(h.trace, Access{Cycle: now, Block: blockAddr, Store: store, Ready: ready})
+	}
+	return ready
+}
+
 // BlockAddr returns the block-aligned address containing addr.
 func (h *Hierarchy) BlockAddr(addr uint32) uint32 {
 	return addr &^ uint32(h.cfg.BlockBytes-1)
-}
-
-func (h *Hierarchy) setIndex(blockAddr uint32) uint32 {
-	return (blockAddr / uint32(h.cfg.BlockBytes)) % h.nsets
-}
-
-func (h *Hierarchy) tag(blockAddr uint32) uint32 {
-	return blockAddr / uint32(h.cfg.BlockBytes) / h.nsets
-}
-
-// lookup probes the L1 and updates LRU on hit, returning the line.
-func (h *Hierarchy) lookup(blockAddr uint32) *line {
-	h.tick++
-	set := h.sets[h.setIndex(blockAddr)]
-	tag := h.tag(blockAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lru = h.tick
-			return &set[i]
-		}
-	}
-	return nil
-}
-
-// fill allocates blockAddr in the L1, evicting LRU. ready is the cycle
-// the fill data arrives; accesses before then are hits-under-fill and
-// wait for it.
-func (h *Hierarchy) fill(blockAddr uint32, ready int64) {
-	h.tick++
-	set := h.sets[h.setIndex(blockAddr)]
-	tag := h.tag(blockAddr)
-	victim := 0
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-		if set[i].lru < set[victim].lru {
-			victim = i
-		}
-	}
-	if set[victim].valid {
-		h.Stats.Evictions++
-	}
-	set[victim] = line{tag: tag, valid: true, lru: h.tick, ready: ready}
-}
-
-// dramAccess reserves port bandwidth for one transaction starting no
-// earlier than now and returns the cycle its data returns.
-func (h *Hierarchy) dramAccess(now int64, bytes int) int64 {
-	start := math.Max(float64(now), h.portFree)
-	h.portFree = start + float64(bytes)/h.cfg.BytesPerCycle
-	return int64(math.Ceil(start)) + h.cfg.MemLatency
 }
 
 // Load presents one load transaction for blockAddr at cycle now and
@@ -180,7 +182,7 @@ func (h *Hierarchy) dramAccess(now int64, bytes int) int64 {
 // whose fill is still in flight waits for the fill (hit-under-fill).
 func (h *Hierarchy) Load(now int64, blockAddr uint32) int64 {
 	h.Stats.Loads++
-	if l := h.lookup(blockAddr); l != nil {
+	if l := h.arr.lookup(blockAddr); l != nil {
 		hit := now + h.cfg.HitLatency
 		if l.ready > hit {
 			// Data still in flight from DRAM: merge into the fill.
@@ -191,19 +193,21 @@ func (h *Hierarchy) Load(now int64, blockAddr uint32) int64 {
 		return hit
 	}
 	h.Stats.Misses++
-	if ready, ok := h.mshr[blockAddr]; ok && ready > now {
+	if ready, ok := h.mshr.outstanding(blockAddr, now); ok {
 		// The line was evicted while its fill is still outstanding:
 		// merge into the fill without spending more bandwidth.
 		h.Stats.MSHRMerges++
 		return ready
 	}
-	ready := h.dramAccess(now, h.cfg.BlockBytes)
+	ready := h.below(now, false, blockAddr)
 	h.Stats.BytesFromMem += uint64(h.cfg.BlockBytes)
 	h.mshr[blockAddr] = ready
-	if n := h.pruneMSHR(now); n > h.Stats.PeakOutstanding {
+	if n := h.mshr.prune(now); n > h.Stats.PeakOutstanding {
 		h.Stats.PeakOutstanding = n
 	}
-	h.fill(blockAddr, ready)
+	if h.arr.fill(blockAddr, ready) {
+		h.Stats.Evictions++
+	}
 	return ready
 }
 
@@ -213,8 +217,8 @@ func (h *Hierarchy) Load(now int64, blockAddr uint32) int64 {
 // memory bandwidth.
 func (h *Hierarchy) Store(now int64, blockAddr uint32) int64 {
 	h.Stats.Stores++
-	h.lookup(blockAddr) // refresh LRU if present
-	h.dramAccess(now, h.cfg.BlockBytes)
+	h.arr.lookup(blockAddr) // refresh LRU if present
+	h.below(now, true, blockAddr)
 	h.Stats.BytesToMem += uint64(h.cfg.BlockBytes)
 	return now + h.cfg.HitLatency
 }
@@ -222,26 +226,8 @@ func (h *Hierarchy) Store(now int64, blockAddr uint32) int64 {
 // Probe reports whether blockAddr is present with its data arrived by
 // cycle now, without touching LRU state or statistics.
 func (h *Hierarchy) Probe(now int64, blockAddr uint32) bool {
-	set := h.sets[h.setIndex(blockAddr)]
-	tag := h.tag(blockAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			return set[i].ready <= now
-		}
-	}
-	return false
-}
-
-func (h *Hierarchy) pruneMSHR(now int64) int {
-	n := 0
-	for b, ready := range h.mshr {
-		if ready <= now {
-			delete(h.mshr, b)
-		} else {
-			n++
-		}
-	}
-	return n
+	l := h.arr.probe(blockAddr)
+	return l != nil && l.ready <= now
 }
 
 // Coalesce merges the active lanes' addresses in [lo, hi) into unique

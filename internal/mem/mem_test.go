@@ -8,8 +8,8 @@ import (
 func TestGeometry(t *testing.T) {
 	h := NewHierarchy(Default())
 	// 48K / (128 * 6) = 64 sets.
-	if h.nsets != 64 {
-		t.Errorf("sets = %d, want 64", h.nsets)
+	if h.arr.nsets != 64 {
+		t.Errorf("sets = %d, want 64", h.arr.nsets)
 	}
 	if h.BlockAddr(0x12345) != 0x12345&^127 {
 		t.Errorf("BlockAddr = %#x", h.BlockAddr(0x12345))

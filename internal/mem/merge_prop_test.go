@@ -1,0 +1,33 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/statcheck"
+)
+
+// TestStatsMergeContract checks mem.Stats.Merge exhaustively over
+// every field by reflection — adding an L1, L2 or NoC counter without
+// extending Merge fails here rather than silently dropping numbers in
+// merged device results.
+func TestStatsMergeContract(t *testing.T) {
+	problems := statcheck.CheckMerge(
+		func() any { return new(Stats) },
+		func(dst, src any) { dst.(*Stats).Merge(src.(*Stats)) },
+	)
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestL2StatsMergeContract covers the standalone L2Stats merge used by
+// code that aggregates L2 instances directly.
+func TestL2StatsMergeContract(t *testing.T) {
+	problems := statcheck.CheckMerge(
+		func() any { return new(L2Stats) },
+		func(dst, src any) { dst.(*L2Stats).Merge(src.(*L2Stats)) },
+	)
+	for _, p := range problems {
+		t.Error(p)
+	}
+}

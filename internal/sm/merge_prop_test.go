@@ -1,0 +1,21 @@
+package sm
+
+import (
+	"testing"
+
+	"repro/internal/statcheck"
+)
+
+// TestStatsMergeContract checks sm.Stats.Merge exhaustively over every
+// field — including the nested memory-system statistics — by
+// reflection: a new counter that Merge does not combine is a test
+// failure, not a silently dropped number in partitioned device runs.
+func TestStatsMergeContract(t *testing.T) {
+	problems := statcheck.CheckMerge(
+		func() any { return new(Stats) },
+		func(dst, src any) { dst.(*Stats).Merge(src.(*Stats)) },
+	)
+	for _, p := range problems {
+		t.Error(p)
+	}
+}

@@ -43,15 +43,25 @@ type Result struct {
 	// Waves holds the per-wave statistics when a Device partitioned the
 	// launch into CTA waves simulated on independent SM instances; it is
 	// nil for a plain single-SM Run. Stats is the deterministic merge of
-	// the wave entries (wave order), so it is identical for any SM or
-	// worker count.
+	// the wave entries (wave order) — identical for any SM or worker
+	// count — plus, when the device models the shared memory system,
+	// the L2/NoC counters of the device-level replay (Stats.Mem.L2 and
+	// Stats.Mem.NoC, zero in every per-wave entry).
 	Waves []Stats
 
 	// SMCycles is the per-SM busy-cycle total under the device's
 	// round-robin wave assignment (wave j runs on SM j mod N). Unlike
 	// Stats, it depends on the configured SM count: more SMs spread the
-	// same waves wider. Nil for a plain single-SM Run.
+	// same waves wider — and when the device models the shared L2 and
+	// interconnect, each SM's total also carries its contention stalls.
+	// Nil for a plain single-SM Run.
 	SMCycles []int64
+
+	// MemTrace is the DRAM-bound transaction stream recorded when the
+	// run was asked to (RunOpts.RecordMemTrace); nil otherwise. The
+	// device replays these streams through the shared L2 and
+	// interconnect to model cross-SM contention.
+	MemTrace []mem.Access
 }
 
 // DeviceCycles returns the modeled device wall-clock: the busiest SM's
@@ -100,6 +110,22 @@ func ResidentCTAs(cfg Config, l *exec.Launch) int {
 	return cfg.NumWarps / warpsPerBlock
 }
 
+// RunOpts carries per-run wiring that is not part of the modeled
+// micro-architecture (Config): how the SM's L1 talks to the rest of
+// the device's memory system.
+type RunOpts struct {
+	// Lower, when non-nil, services the L1's miss fills and
+	// write-through stores in place of the flat-latency DRAM port —
+	// the device wires an interconnect port backed by the shared L2
+	// here. The Lower is called from the simulation goroutine, so a
+	// shared Lower must only be used by one run at a time.
+	Lower mem.Lower
+
+	// RecordMemTrace makes the run record its DRAM-bound transaction
+	// stream into Result.MemTrace for the device's contention replay.
+	RecordMemTrace bool
+}
+
 // RunRange simulates the CTA sub-range [ctaStart, ctaEnd) of the launch
 // on a fresh SM. The SM model is re-entrant: independent RunRange calls
 // over disjoint sub-ranges of one launch may run concurrently as long
@@ -109,6 +135,11 @@ func ResidentCTAs(cfg Config, l *exec.Launch) int {
 // position-independent. The context is polled about every 1k cycles;
 // cancellation aborts the simulation with ctx.Err().
 func RunRange(ctx context.Context, cfg Config, l *exec.Launch, ctaStart, ctaEnd int) (*Result, error) {
+	return RunRangeOpts(ctx, cfg, l, ctaStart, ctaEnd, RunOpts{})
+}
+
+// RunRangeOpts is RunRange with explicit memory-system wiring.
+func RunRangeOpts(ctx context.Context, cfg Config, l *exec.Launch, ctaStart, ctaEnd int, opts RunOpts) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -150,6 +181,8 @@ func RunRange(ctx context.Context, cfg Config, l *exec.Launch, ctaStart, ctaEnd 
 		return nil, err
 	}
 	s.lookup = lk
+	s.hier.SetLower(opts.Lower)
+	s.hier.Record(opts.RecordMemTrace)
 	for i := range s.warps {
 		s.warps[i] = &warp{id: i}
 	}
@@ -192,7 +225,7 @@ func RunRange(ctx context.Context, cfg Config, l *exec.Launch, ctaStart, ctaEnd 
 	s.stats.StructuralStalls = s.sb.Stats.Structural
 	s.stats.Mem = s.hier.Stats
 	s.collectHeapStats()
-	return &Result{Stats: s.stats, Trace: s.trace}, nil
+	return &Result{Stats: s.stats, Trace: s.trace, MemTrace: s.hier.Trace()}, nil
 }
 
 // collectHeapStats folds per-warp reconvergence statistics of the still

@@ -1,0 +1,139 @@
+// Package statcheck verifies the algebra of statistics Merge methods
+// by reflection, exhaustively over every numeric leaf field (including
+// nested structs and arrays). It exists so that adding a counter to a
+// Stats struct without teaching Merge about it is a test failure, not
+// a silently dropped number.
+//
+// The contract checked for s.Merge(o):
+//
+//   - Field-exhaustive: every leaf combines as a sum or a maximum —
+//     with a=1 and b=2 the merged value must be 3 (sum) or 2 (max),
+//     never the untouched 1.
+//   - Commutative on values: merging a into b and b into a produce the
+//     same totals.
+//   - Identity: merging a zero value into s leaves s unchanged, and
+//     merging s into a zero value reproduces s.
+package statcheck
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// leaf is one numeric field, addressed by its index path.
+type leaf struct {
+	path []int
+	name string
+}
+
+// leaves enumerates the numeric leaves of a struct type, failing on
+// any field kind it does not understand (so a future non-numeric
+// field forces a conscious decision here).
+func leaves(t reflect.Type, prefix []int, name string, out *[]leaf, problems *[]string) {
+	switch t.Kind() {
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			leaves(f.Type, append(append([]int(nil), prefix...), i), name+"."+f.Name, out, problems)
+		}
+	case reflect.Array:
+		for i := 0; i < t.Len(); i++ {
+			leaves(t.Elem(), append(append([]int(nil), prefix...), i), fmt.Sprintf("%s[%d]", name, i), out, problems)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		*out = append(*out, leaf{path: prefix, name: name})
+	default:
+		*problems = append(*problems, fmt.Sprintf("%s: unsupported field kind %s — extend statcheck or the Merge contract", name, t.Kind()))
+	}
+}
+
+// field resolves a leaf inside an addressable struct value.
+func field(v reflect.Value, path []int) reflect.Value {
+	for _, i := range path {
+		switch v.Kind() {
+		case reflect.Struct:
+			v = v.Field(i)
+		default: // array
+			v = v.Index(i)
+		}
+	}
+	return v
+}
+
+// set assigns an integer magnitude to a numeric leaf.
+func set(v reflect.Value, n int64) {
+	switch v.Kind() {
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(float64(n))
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(n)
+	default:
+		v.SetUint(uint64(n))
+	}
+}
+
+// get reads a numeric leaf back as an integer magnitude.
+func get(v reflect.Value) int64 {
+	switch v.Kind() {
+	case reflect.Float32, reflect.Float64:
+		return int64(v.Float())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return v.Int()
+	default:
+		return int64(v.Uint())
+	}
+}
+
+// CheckMerge verifies the Merge contract for the struct type behind
+// zero (a factory returning a pointer to a fresh zero value) and merge
+// (dst.Merge(src) adapted to untyped pointers). It returns one line
+// per violation; an empty slice means the contract holds.
+func CheckMerge(zero func() any, merge func(dst, src any)) []string {
+	var problems []string
+	proto := reflect.TypeOf(zero()).Elem()
+	var ls []leaf
+	leaves(proto, nil, proto.Name(), &ls, &problems)
+
+	// Per-leaf: a=1 merged with b=2 must yield sum (3) or max (2), in
+	// both merge directions.
+	for _, l := range ls {
+		a, b := zero(), zero()
+		set(field(reflect.ValueOf(a).Elem(), l.path), 1)
+		set(field(reflect.ValueOf(b).Elem(), l.path), 2)
+		merge(a, b)
+		got := get(field(reflect.ValueOf(a).Elem(), l.path))
+		if got != 3 && got != 2 {
+			problems = append(problems, fmt.Sprintf("%s: merge(1, 2) = %d, want 3 (sum) or 2 (max) — counter dropped?", l.name, got))
+			continue
+		}
+		// Reverse direction must agree on the combined value.
+		a2, b2 := zero(), zero()
+		set(field(reflect.ValueOf(a2).Elem(), l.path), 2)
+		set(field(reflect.ValueOf(b2).Elem(), l.path), 1)
+		merge(a2, b2)
+		if rev := get(field(reflect.ValueOf(a2).Elem(), l.path)); rev != got {
+			problems = append(problems, fmt.Sprintf("%s: merge is not commutative: 1⊕2 = %d but 2⊕1 = %d", l.name, got, rev))
+		}
+	}
+
+	// Identity: a fully populated value survives merging with zero in
+	// both directions. Distinct per-leaf magnitudes catch cross-field
+	// mixups.
+	full := zero()
+	for i, l := range ls {
+		set(field(reflect.ValueOf(full).Elem(), l.path), int64(i%97)+1)
+	}
+	want := reflect.ValueOf(full).Elem().Interface()
+	merge(full, zero())
+	if got := reflect.ValueOf(full).Elem().Interface(); !reflect.DeepEqual(got, want) {
+		problems = append(problems, fmt.Sprintf("merging the zero value changed the receiver:\n got %+v\nwant %+v", got, want))
+	}
+	z := zero()
+	merge(z, full)
+	if got := reflect.ValueOf(z).Elem().Interface(); !reflect.DeepEqual(got, want) {
+		problems = append(problems, fmt.Sprintf("merging into the zero value lost data:\n got %+v\nwant %+v", got, want))
+	}
+	return problems
+}

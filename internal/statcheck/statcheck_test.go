@@ -1,0 +1,70 @@
+package statcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+type inner struct {
+	Peak int64
+}
+
+type sample struct {
+	Count uint64
+	Arr   [2]uint64
+	In    inner
+}
+
+// goodMerge combines every field: counters add, Peak maxes.
+func goodMerge(dst, src *sample) {
+	dst.Count += src.Count
+	for i := range dst.Arr {
+		dst.Arr[i] += src.Arr[i]
+	}
+	if src.In.Peak > dst.In.Peak {
+		dst.In.Peak = src.In.Peak
+	}
+}
+
+// badMerge forgets the array's second element and the nested peak.
+func badMerge(dst, src *sample) {
+	dst.Count += src.Count
+	dst.Arr[0] += src.Arr[0]
+}
+
+func TestCheckMergeAcceptsSoundMerge(t *testing.T) {
+	problems := CheckMerge(
+		func() any { return new(sample) },
+		func(d, s any) { goodMerge(d.(*sample), s.(*sample)) },
+	)
+	if len(problems) != 0 {
+		t.Errorf("sound merge flagged: %v", problems)
+	}
+}
+
+func TestCheckMergeCatchesDroppedFields(t *testing.T) {
+	problems := CheckMerge(
+		func() any { return new(sample) },
+		func(d, s any) { badMerge(d.(*sample), s.(*sample)) },
+	)
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{"Arr[1]", "In.Peak"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("dropped field %s not reported in:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "Arr[0]") {
+		t.Errorf("correctly merged field flagged:\n%s", joined)
+	}
+}
+
+func TestCheckMergeCatchesNonCommutativeMerge(t *testing.T) {
+	// Overwrite semantics: dst takes src's value — 1⊕2 and 2⊕1 differ.
+	problems := CheckMerge(
+		func() any { return new(inner) },
+		func(d, s any) { d.(*inner).Peak = s.(*inner).Peak },
+	)
+	if len(problems) == 0 {
+		t.Error("overwrite merge must be flagged")
+	}
+}

@@ -2,8 +2,26 @@ package sbwi
 
 import (
 	"repro/internal/device"
+	"repro/internal/mem"
+	"repro/internal/noc"
 	"repro/internal/sm"
 )
+
+// L2Config sets the shared L2's geometry and timing (capacity,
+// associativity, banks, bank latency and bandwidth).
+type L2Config = mem.L2Config
+
+// NoCConfig sets the SM↔L2 crossbar timing (per-port bandwidth and
+// traversal latency).
+type NoCConfig = noc.Config
+
+// DefaultL2Config returns the Fermi-class shared L2 WithL2 models when
+// not overridden: 768 KB, 8-way, 8 banks.
+func DefaultL2Config() L2Config { return mem.DefaultL2() }
+
+// DefaultNoCConfig returns the crossbar WithInterconnect models when
+// not overridden: 20-cycle traversal, 32 B/cycle per SM port.
+func DefaultNoCConfig() NoCConfig { return noc.Default() }
 
 // Option configures a Device built by NewDevice. Options apply in
 // order; later options override earlier ones. Field options (shuffle,
@@ -41,6 +59,23 @@ func WithWorkers(n int) Option { return device.WithWorkers(n) }
 // with the same value). Off by default, which keeps Device.Run
 // cycle-exact with the classic single-SM Run path.
 func WithGridPartition(on bool) Option { return device.WithGridPartition(on) }
+
+// WithL2 models the shared memory system: a banked, MSHR-backed L2
+// between every SM's L1 and global memory, reached over the
+// interconnect (DefaultNoCConfig unless WithInterconnect overrides
+// it). Off by default — the seed's flat-latency DRAM model — so
+// default runs stay cycle-exact with the paper reproduction. With it
+// on, unpartitioned runs time every L1 miss through NoC port, L2 bank
+// and the shared DRAM port inline; partitioned runs replay all waves'
+// miss streams through one shared L2, surfacing L2/NoC counters in
+// Stats.Mem and folding cross-SM contention into DeviceCycles.
+func WithL2(cfg L2Config) Option { return device.WithL2(cfg) }
+
+// WithInterconnect sets the SM↔L2 crossbar parameters and enables the
+// modeled memory hierarchy (with DefaultL2Config unless WithL2
+// overrides the cache itself). Narrower port bandwidth means more
+// queueing and a longer modeled device wall-clock.
+func WithInterconnect(cfg NoCConfig) Option { return device.WithInterconnect(cfg) }
 
 // WithShuffle sets the static lane-shuffling policy (paper table 1).
 func WithShuffle(p Shuffle) Option {

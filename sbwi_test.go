@@ -166,7 +166,7 @@ func TestBenchmarksExposed(t *testing.T) {
 
 func TestExperimentsExposed(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 11 { // 5 figures + 3 tables + 3 ablations
+	if len(names) != 12 { // 5 figures + 3 tables + 3 ablations + memory-hierarchy
 		t.Errorf("experiments = %v", names)
 	}
 	r := NewExperiments()
