@@ -170,10 +170,10 @@ join:
 			if a == Baseline {
 				p = prog
 			}
-			cfg := Configure(a)
+			cfg := sm.Configure(a)
 			cfg.TraceCap = 256
 			l := NewLaunch(p, 1, 128, make([]byte, 128*4), 0)
-			res, err := Run(cfg, l)
+			res, err := sm.Run(cfg, l)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -226,7 +226,7 @@ func BenchmarkSuiteRunner(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := Run(Configure(SBI), l); err != nil {
+				if _, err := sm.Run(sm.Configure(sm.ArchSBI), l); err != nil {
 					b.Fatal(err)
 				}
 				if !bytes.Equal(l.Global, bench.Expected()) {

@@ -1,0 +1,140 @@
+// Command benchjson runs `go test -bench` and distills the output into
+// a machine-readable JSON baseline: median ns/op, B/op and allocs/op
+// per benchmark. The bench CI job uses it to write BENCH_<PR>.json
+// files at the repository root, so every PR leaves a perf trajectory
+// point the next one can be compared against (benchstat-style, but
+// dependency-free and diffable in review).
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -bench SuiteRunner -count 6 -o BENCH_PR3.json .
+//	go run ./cmd/benchjson -bench CycleLoop ./internal/sm
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// Entry is one benchmark's summarized result.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+// Report is the file layout of BENCH_*.json.
+type Report struct {
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	Bench      string           `json:"bench"`
+	Count      int              `json:"count"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench -benchmem` result rows, e.g.
+// "BenchmarkSuiteRunner/serial-seed-8  2  73 ns/op  17 B/op  21 allocs/op".
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	count := flag.Int("count", 6, "go test -count (median is reported)")
+	out := flag.String("o", "", "output JSON path (default stdout)")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"."}
+	}
+
+	args := append([]string{
+		"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-count", strconv.Itoa(*count),
+	}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %v: %v\n", args, err)
+		os.Exit(1)
+	}
+
+	samples := map[string][][3]float64{}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		var bpo, apo float64
+		if m[3] != "" {
+			bpo, _ = strconv.ParseFloat(m[3], 64)
+			apo, _ = strconv.ParseFloat(m[4], 64)
+		}
+		samples[m[1]] = append(samples[m[1]], [3]float64{ns, bpo, apo})
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results matched; raw output follows")
+		os.Stderr.Write(raw)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Bench:      *bench,
+		Count:      *count,
+		Benchmarks: make(map[string]Entry, len(samples)),
+	}
+	for name, runs := range samples {
+		rep.Benchmarks[name] = Entry{
+			NsPerOp:     median(runs, 0),
+			BytesPerOp:  median(runs, 1),
+			AllocsPerOp: median(runs, 2),
+			Samples:     len(runs),
+		}
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// median returns the median of one column across runs.
+func median(runs [][3]float64, col int) float64 {
+	vals := make([]float64, len(runs))
+	for i, r := range runs {
+		vals[i] = r[col]
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}

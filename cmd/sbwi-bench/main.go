@@ -9,23 +9,54 @@
 //	sbwi-bench -exp fig9 -csv  # CSV output
 //	sbwi-bench -workers 4      # bound the simulation worker pool
 //	sbwi-bench -v              # per-simulation progress on stderr
+//
+// For diagnosing simulator hot-path regressions without editing tests:
+//
+//	sbwi-bench -exp fig7b -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	sbwi "repro"
 )
 
 func main() {
+	// run carries the real logic so its defers — in particular
+	// pprof.StopCPUProfile — flush before os.Exit on the error path: a
+	// profile of a failing run is exactly when the flag matters.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sbwi-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	exp := flag.String("exp", "all", "experiment: "+strings.Join(sbwi.ExperimentNames(), ", ")+", or all")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	workers := flag.Int("workers", 0, "host worker-pool bound (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "log each simulation to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulations to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the simulations to `file`")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	r := sbwi.NewExperiments()
 	r.Workers = *workers
@@ -40,8 +71,7 @@ func main() {
 	for _, name := range names {
 		t, err := r.Run(name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sbwi-bench:", err)
-			os.Exit(1)
+			return err
 		}
 		if *csv {
 			fmt.Print(t.CSV())
@@ -49,4 +79,17 @@ func main() {
 			fmt.Println(t.Text())
 		}
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // materialize the retained-heap picture
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }

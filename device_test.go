@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"repro/internal/sm"
 )
 
 // suiteSubset picks multi-wave kernels cheap enough to simulate
@@ -33,7 +35,7 @@ func TestDeviceMatchesSeedRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		seed, err := Run(Configure(SBISWI), seedLaunch)
+		seed, err := sm.Run(sm.Configure(sm.ArchSBISWI), seedLaunch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +133,7 @@ func TestPartitionedSingleWaveIsSeedExact(t *testing.T) {
 		}
 		return NewLaunch(tf, 4, 256, global, 0)
 	}
-	seed, err := Run(Configure(SBISWI), mk())
+	seed, err := sm.Run(sm.Configure(sm.ArchSBISWI), mk())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -93,20 +93,34 @@
 // reproduction; the "memory-hierarchy" experiment sweeps the port
 // bandwidth on the bandwidth-bound suite kernels.
 //
+// # Simulation speed
+//
+// The SM's scheduling loop is event-driven but cycle-exact: candidate
+// eligibility is maintained incrementally at the events that change it
+// (issues, barrier releases, block launch/retire) rather than re-derived
+// from every warp context each cycle, spans in which no instruction can
+// issue are fast-forwarded in one step, and the steady-state issue path
+// performs no heap allocation. None of this changes any number — the
+// modeled cycle count, every statistic and every PRNG tie-break are
+// bit-identical to a naive per-cycle rescan, which is retained behind
+// Config.ReferenceLoop and asserted equivalent by the test suite. See
+// the README's Performance section for how to benchmark and profile.
+//
 // # Migrating from the v0 API
 //
-// The original one-shot entry points remain as deprecated wrappers for
-// one release:
+// The original one-shot entry points — sbwi.Run and sbwi.Configure —
+// were deprecated in the Device release and have now been removed:
 //
-//	res, err := sbwi.Run(sbwi.Configure(sbwi.SBI), l)   // old
+//	res, err := sbwi.Run(sbwi.Configure(sbwi.SBI), l)   // removed
 //
-//	dev, err := sbwi.NewDevice(sbwi.WithArch(sbwi.SBI)) // new
+//	dev, err := sbwi.NewDevice(sbwi.WithArch(sbwi.SBI)) // current
 //	res, err := dev.Run(ctx, l)
 //
-// A single-SM unpartitioned Device.Run is cycle-exact with sbwi.Run, so
-// migrating changes no numbers. Config fields map to options
-// (WithShuffle, WithAssoc, WithConstraints, WithTrace, WithSeed, ...);
-// WithConfig bridges anything without a dedicated option.
+// A single-SM unpartitioned Device.Run is cycle-exact with the old
+// sbwi.Run, so migrating changes no numbers. Config fields map to
+// options (WithShuffle, WithAssoc, WithConstraints, WithTrace,
+// WithSeed, ...); WithConfig bridges anything without a dedicated
+// option. Verify likewise takes options now: Verify(l, WithArch(a)).
 //
 // See the examples directory for runnable programs and EXPERIMENTS.md
 // for the paper-versus-measured record.

@@ -81,7 +81,7 @@ func main() {
 		if a == sbwi.Baseline {
 			p = prog
 		}
-		if err := sbwi.Verify(sbwi.Configure(a), mkLaunch(p)); err != nil {
+		if err := sbwi.Verify(mkLaunch(p), sbwi.WithArch(a)); err != nil {
 			log.Fatalf("validation failed: %v", err)
 		}
 	}

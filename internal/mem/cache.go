@@ -100,24 +100,49 @@ func (c *cacheArray) fill(blockAddr uint32, ready int64) (evicted bool) {
 	return evicted
 }
 
-// mshrTable tracks outstanding fills by block address.
-type mshrTable map[uint32]int64
+// mshrTable tracks outstanding fills by block address. It is a small
+// in-place slice rather than a map: the population is bounded by the
+// number of simultaneously outstanding fills (tens at most), and prune
+// runs on every miss, where iterating a map that once grew large costs
+// O(capacity) instead of O(live).
+type mshrTable struct {
+	fills []mshrFill
+}
+
+type mshrFill struct {
+	block uint32
+	ready int64
+}
 
 // outstanding looks up an in-flight fill still pending at cycle now.
-func (m mshrTable) outstanding(blockAddr uint32, now int64) (int64, bool) {
-	ready, ok := m[blockAddr]
-	return ready, ok && ready > now
+func (m *mshrTable) outstanding(blockAddr uint32, now int64) (int64, bool) {
+	for i := range m.fills {
+		if m.fills[i].block == blockAddr {
+			return m.fills[i].ready, m.fills[i].ready > now
+		}
+	}
+	return 0, false
+}
+
+// insert records a fill, replacing any stale entry for the same block.
+func (m *mshrTable) insert(blockAddr uint32, ready int64) {
+	for i := range m.fills {
+		if m.fills[i].block == blockAddr {
+			m.fills[i].ready = ready
+			return
+		}
+	}
+	m.fills = append(m.fills, mshrFill{block: blockAddr, ready: ready})
 }
 
 // prune drops completed fills and returns how many remain in flight.
-func (m mshrTable) prune(now int64) int {
-	n := 0
-	for b, ready := range m {
-		if ready <= now {
-			delete(m, b)
-		} else {
-			n++
+func (m *mshrTable) prune(now int64) int {
+	out := m.fills[:0]
+	for _, f := range m.fills {
+		if f.ready > now {
+			out = append(out, f)
 		}
 	}
-	return n
+	m.fills = out
+	return len(out)
 }

@@ -121,7 +121,7 @@ func NewL2(cfg L2Config, mem Config) *L2 {
 		mem:   mem,
 		arr:   newCacheArray(cfg.Bytes, cfg.Ways, mem.BlockBytes),
 		port:  noc.NewLink(mem.BytesPerCycle, mem.MemLatency),
-		mshr:  make(mshrTable),
+		mshr:  mshrTable{},
 		banks: banks,
 	}
 }
@@ -179,7 +179,7 @@ func (l *L2) Access(now int64, blockAddr uint32, store bool) int64 {
 	}
 	ready := l.port.Reserve(served, l.mem.BlockBytes)
 	l.Stats.BytesFromMem += uint64(l.mem.BlockBytes)
-	l.mshr[blockAddr] = ready
+	l.mshr.insert(blockAddr, ready)
 	l.mshr.prune(now)
 	if l.arr.fill(blockAddr, ready) {
 		l.Stats.Evictions++

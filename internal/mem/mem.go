@@ -137,7 +137,7 @@ func NewHierarchy(cfg Config) *Hierarchy {
 		cfg:  cfg,
 		arr:  newCacheArray(cfg.L1Bytes, cfg.L1Ways, cfg.BlockBytes),
 		port: noc.NewLink(cfg.BytesPerCycle, cfg.MemLatency),
-		mshr: make(mshrTable),
+		mshr: mshrTable{},
 	}
 }
 
@@ -201,7 +201,7 @@ func (h *Hierarchy) Load(now int64, blockAddr uint32) int64 {
 	}
 	ready := h.below(now, false, blockAddr)
 	h.Stats.BytesFromMem += uint64(h.cfg.BlockBytes)
-	h.mshr[blockAddr] = ready
+	h.mshr.insert(blockAddr, ready)
 	if n := h.mshr.prune(now); n > h.Stats.PeakOutstanding {
 		h.Stats.PeakOutstanding = n
 	}

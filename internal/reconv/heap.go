@@ -3,7 +3,6 @@ package reconv
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 )
 
 // Context is one warp-split: a program counter and the set of threads
@@ -340,7 +339,18 @@ func (h *Heap) rebuild(now int64, inserted bool) {
 	}
 	live = append(live, buf[:nHot]...)
 
-	sort.SliceStable(live, func(i, j int) bool { return live[i].PC < live[j].PC })
+	// Stable insertion sort by PC. The live set is tiny (real programs
+	// rarely exceed 3 contexts, §3.4) and nearly sorted, and rebuild
+	// runs on every heap mutation — one per issue — so this keeps the
+	// issue path allocation-free where sort.SliceStable would not be.
+	for i := 1; i < len(live); i++ {
+		c := live[i]
+		j := i - 1
+		for ; j >= 0 && live[j].PC > c.PC; j-- {
+			live[j+1] = live[j]
+		}
+		live[j+1] = c
+	}
 
 	// Merge equal PCs. Merged contexts re-evaluate any SYNC or barrier.
 	out := live[:0]
@@ -362,10 +372,14 @@ func (h *Heap) rebuild(now int64, inserted bool) {
 		h.hot[i] = out[i]
 		h.hotValid[i] = true
 	}
+	// Keep `out`'s backing as the new CCT storage: when the live set
+	// outgrew the old array, appending reallocated, and resetting to the
+	// old slice would leak the growth and reallocate on every rebuild.
 	if len(out) > HotContexts {
-		h.cct = append(h.cct[:0], out[HotContexts:]...)
+		n := copy(out, out[HotContexts:])
+		h.cct = out[:n]
 	} else {
-		h.cct = h.cct[:0]
+		h.cct = out[:0]
 	}
 
 	if inserted && len(h.cct) > 0 {

@@ -80,6 +80,12 @@ func (l *Lookup) Candidates(primary int) []int {
 	return l.sets[l.setOf[primary]]
 }
 
+// SetOf returns the index of the set the secondary scheduler probes
+// when the primary issued warp `primary`: Candidates(primary) is
+// SetWarps(SetOf(primary)). With a direct-mapped lookup this is the
+// neighboring set, not the set containing the warp.
+func (l *Lookup) SetOf(primary int) int { return l.setOf[primary] }
+
 // SetWarps returns the warps of set index si (used when the secondary
 // scheduler substitutes for an idle primary and probes sets
 // round-robin). The slice is shared; callers must not modify it.

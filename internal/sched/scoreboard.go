@@ -118,6 +118,7 @@ type Scoreboard struct {
 	mode    DepMode
 	perWarp int
 	entries [][]Entry // ragged: live entries per warp
+	horizon []int64   // Horizon scratch: live writeback times, sorted
 
 	Stats Stats
 }
@@ -129,17 +130,27 @@ func NewScoreboard(mode DepMode, numWarps, perWarp int) *Scoreboard {
 		mode:    mode,
 		perWarp: perWarp,
 		entries: make([][]Entry, numWarps),
+		horizon: make([]int64, 0, perWarp+2),
 	}
 }
 
 // Mode returns the dependency mode.
 func (s *Scoreboard) Mode() DepMode { return s.mode }
 
-// prune drops entries whose writeback time has passed.
+// prune drops entries whose writeback time has passed. The common case
+// — every entry still in flight — returns without rewriting the slice,
+// since prune runs on every scoreboard query.
 func (s *Scoreboard) prune(warp int, now int64) {
 	es := s.entries[warp]
-	out := es[:0]
-	for _, e := range es {
+	i := 0
+	for i < len(es) && es[i].WB > now {
+		i++
+	}
+	if i == len(es) {
+		return
+	}
+	out := es[:i]
+	for _, e := range es[i+1:] {
 		if e.WB > now {
 			out = append(out, e)
 		}
@@ -202,6 +213,64 @@ func (s *Scoreboard) ReadyAt(warp int, ins *isa.Instruction, srcs []isa.Reg, slo
 		s.Stats.Stalls++
 	}
 	return ready
+}
+
+// Horizon reports, without touching statistics or pruning, the
+// quantities that govern a frozen candidate's readiness while no new
+// entries are allocated (the SM's idle-span invariant). Entries whose
+// writeback time is at or before q are ignored — they are dead for
+// every query after q.
+//
+//   - hazardWB is the latest writeback time among live entries that
+//     conflict with the candidate (thread-sharing per the dependency
+//     mode and a RAW or WAW register match): a ReadyAt query at q' < q”
+//     stalls on a hazard exactly while q” < hazardWB. hasHazard is
+//     false when no live entry conflicts.
+//   - structWB is the writeback time at which the entry table stops
+//     being structurally full for a destination-writing candidate:
+//     ReadyAt at q” reports a structural stall exactly while
+//     q” < structWB and no hazard stall applies. hasStruct is false
+//     when the candidate writes no destination or the table is not
+//     full.
+func (s *Scoreboard) Horizon(warp int, ins *isa.Instruction, srcs []isa.Reg, slot int, mask uint64, q int64) (hazardWB int64, hasHazard bool, structWB int64, hasStruct bool) {
+	es := s.entries[warp]
+	live := s.horizon[:0]
+	for i := range es {
+		e := &es[i]
+		if e.WB <= q {
+			continue
+		}
+		live = append(live, e.WB)
+		if !s.depends(e, slot, mask) {
+			continue
+		}
+		hazard := ins.Op.HasDst() && ins.Dst == e.Dst // WAW
+		for _, r := range srcs {
+			if r == e.Dst {
+				hazard = true // RAW
+				break
+			}
+		}
+		if hazard && (!hasHazard || e.WB > hazardWB) {
+			hazardWB, hasHazard = e.WB, true
+		}
+	}
+	s.horizon = live
+	if ins.Op.HasDst() && len(live) >= s.perWarp {
+		// Insertion sort (allocation-free; at most perWarp+1 entries).
+		for i := 1; i < len(live); i++ {
+			v := live[i]
+			j := i - 1
+			for ; j >= 0 && live[j] > v; j-- {
+				live[j+1] = live[j]
+			}
+			live[j+1] = v
+		}
+		// The table stays full (>= perWarp live entries) until the
+		// (n-perWarp+1)-th earliest writeback has passed.
+		structWB, hasStruct = live[len(live)-s.perWarp], true
+	}
+	return hazardWB, hasHazard, structWB, hasStruct
 }
 
 // Issue records the candidate's destination write. Instructions without

@@ -136,6 +136,14 @@ type Config struct {
 
 	Mem mem.Config
 
+	// ReferenceLoop disables the incrementally maintained issuable set
+	// and the idle-cycle fast-forward, forcing the original per-cycle
+	// full-rescan scheduling loop. The two paths are cycle- and
+	// statistics-identical by construction; the flag exists so tests can
+	// assert that equivalence and as a diagnostic escape hatch. It never
+	// changes results, only host speed.
+	ReferenceLoop bool
+
 	// Seed drives the secondary scheduler's tie-breaking PRNG.
 	Seed uint64
 

@@ -1,0 +1,248 @@
+package sm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// runPair simulates one launch twice — event-driven fast path versus
+// the retained reference rescan loop — and asserts every field of the
+// resulting Stats is identical. The fast path's contract is exactness,
+// not approximation: issue counts, cycles, scoreboard counters and
+// PRNG-tie-broken SWI pairings must all survive the rewrite bit-for-bit.
+func runPair(t *testing.T, cfg Config, b *kernels.Benchmark) {
+	t.Helper()
+	tf := cfg.Arch != ArchBaseline
+
+	lFast, err := b.NewLaunch(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(cfg, lFast)
+	if err != nil {
+		t.Fatalf("%s on %s (fast): %v", b.Name, cfg.Arch, err)
+	}
+
+	refCfg := cfg
+	refCfg.ReferenceLoop = true
+	lRef, err := b.NewLaunch(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(refCfg, lRef)
+	if err != nil {
+		t.Fatalf("%s on %s (reference): %v", b.Name, cfg.Arch, err)
+	}
+
+	if fast.Stats != ref.Stats {
+		t.Errorf("%s on %s: fast path diverged from the reference loop\nfast: %+v\nref:  %+v",
+			b.Name, cfg.Arch, fast.Stats, ref.Stats)
+	}
+}
+
+// TestFastPathEquivalence runs a randomly chosen (fixed seed) subset of
+// the suite kernels on all five architectures with the event-driven
+// scheduler and with ReferenceLoop, asserting identical Stats. BFS and
+// Transpose are always included: they are memory-latency-bound, so they
+// exercise long idle spans and the skipped-cycle counter accounting.
+func TestFastPathEquivalence(t *testing.T) {
+	all := kernels.All()
+	rng := rand.New(rand.NewSource(20260726))
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+
+	subset := map[string]*kernels.Benchmark{}
+	for _, name := range []string{"BFS", "Transpose"} {
+		if b, ok := kernels.ByName(name); ok {
+			subset[b.Name] = b
+		}
+	}
+	for _, b := range all {
+		if len(subset) >= 7 {
+			break
+		}
+		subset[b.Name] = b
+	}
+
+	for _, b := range subset {
+		for _, a := range Architectures() {
+			b, a := b, a
+			t.Run(b.Name+"/"+a.String(), func(t *testing.T) {
+				t.Parallel()
+				runPair(t, Configure(a), b)
+			})
+		}
+	}
+}
+
+// TestFastPathEquivalenceVariants covers the configuration corners with
+// their own idle-accounting shapes: a set-associative SWI lookup (the
+// substitute secondary probes a different buddy set each idle cycle,
+// so skipped-cycle counters depend on cycle residues), direct-mapped
+// lookup, memory-divergence splitting, and constraints off.
+func TestFastPathEquivalenceVariants(t *testing.T) {
+	bfs, ok := kernels.ByName("BFS")
+	if !ok {
+		t.Fatal("BFS missing")
+	}
+	mandel, ok := kernels.ByName("Mandelbrot")
+	if !ok {
+		t.Fatal("Mandelbrot missing")
+	}
+
+	assoc3 := Configure(ArchSWI)
+	assoc3.Assoc = 3
+	direct := Configure(ArchSBISWI)
+	direct.Assoc = 1
+	split := Configure(ArchSBISWI)
+	split.SplitOnMemDivergence = true
+	noCons := Configure(ArchSBI)
+	noCons.Constraints = false
+
+	for name, cfg := range map[string]Config{
+		"swi-assoc3":        assoc3,
+		"sbiswi-direct":     direct,
+		"sbiswi-memsplit":   split,
+		"sbi-unconstrained": noCons,
+	} {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runPair(t, cfg, bfs)
+			runPair(t, cfg, mandel)
+		})
+	}
+}
+
+// divergentLoopSrc keeps warps diverging and reconverging continuously:
+// a data-dependent if/else inside a long counted loop. It sustains the
+// issue path (heap mutations, SBI pairing, branch resolution) without
+// memory traffic, so the steady state is pure scheduling work.
+const divergentLoopSrc = `
+	mov  r1, %tid
+	mov  r3, 0
+	mov  r4, 0
+loop:
+	and  r6, r4, 1
+	isetp.eq r7, r6, 0
+	bra  r7, even
+	iadd r4, r4, 3
+	bra  join
+even:
+	iadd r4, r4, 1
+join:
+	iadd r3, r3, 1
+	isetp.lt r8, r3, 20000
+	bra  r8, loop
+	mov  r9, %ctaid
+	mov  r10, %ntid
+	imad r11, r9, r10, r1
+	shl  r12, r11, 2
+	mov  r13, %p0
+	iadd r13, r13, r12
+	st.g [r13], r4
+	exit
+`
+
+// memIdleLoopSrc misses the L1 on every iteration (the stride walks a
+// 256 KB region, far beyond the 48 KB L1), so warps spend most cycles
+// waiting on DRAM and the fast-forward path dominates.
+const memIdleLoopSrc = `
+	mov  r1, %tid
+	shl  r2, r1, 7
+	mov  r3, 0
+	mov  r4, 0
+loop:
+	imul r5, r3, 4099
+	iadd r6, r2, r5
+	and  r6, r6, 262143
+	shr  r7, r6, 2
+	shl  r6, r7, 2
+	mov  r7, %p1
+	iadd r7, r7, r6
+	ld.g r8, [r7]
+	iadd r4, r4, r8
+	iadd r3, r3, 1
+	isetp.lt r9, r3, 4000
+	bra  r9, loop
+	mov  r10, %ctaid
+	mov  r11, %ntid
+	imad r12, r10, r11, r1
+	shl  r13, r12, 2
+	mov  r14, %p0
+	iadd r14, r14, r13
+	st.g [r14], r4
+	exit
+`
+
+// TestSteadyStateZeroAllocs drives the hot loop directly through
+// (*SM).step and asserts the steady-state issue path performs zero heap
+// allocations per cycle, for both a divergence-heavy compute loop and a
+// memory-latency-bound loop (which exercises the idle fast-forward),
+// across the stack baseline and the thread-frontier architectures.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	kernelsUnderTest := []struct {
+		name, src string
+		params    []uint32
+		words     int
+	}{
+		{"divergent-loop", divergentLoopSrc, []uint32{0}, 4 * 256},
+		{"mem-idle", memIdleLoopSrc, []uint32{0, 4 * 256 * 4}, 4*256 + 65536},
+	}
+	for _, k := range kernelsUnderTest {
+		for _, a := range []Arch{ArchBaseline, ArchSBI, ArchSWI, ArchSBISWI} {
+			t.Run(k.name+"/"+a.String(), func(t *testing.T) {
+				cfg := Configure(a)
+				p := assembleFor(t, k.name, k.src, a)
+				l := newLaunch(p, 4, 256, k.words, k.params...)
+				s, err := newSM(cfg, l, 0, l.GridDim, RunOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				const maxCycles = int64(1) << 30
+				// Warm up past block launch, first divergences and
+				// scratch growth into the steady state.
+				for i := 0; i < 600; i++ {
+					done, err := s.step(maxCycles)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if done {
+						t.Fatalf("kernel finished during warm-up after %d cycles — lengthen it", s.now)
+					}
+				}
+				avg := testing.AllocsPerRun(400, func() {
+					if _, err := s.step(maxCycles); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if avg != 0 {
+					t.Errorf("steady-state step allocates %.2f times per cycle, want 0", avg)
+				}
+			})
+		}
+	}
+}
+
+// TestReferenceLoopStillExact guards the retained slow path itself: the
+// reference loop must keep matching the functional simulator, so the
+// equivalence tests above compare against a meaningful oracle.
+func TestReferenceLoopStillExact(t *testing.T) {
+	cfg := Configure(ArchSBISWI)
+	cfg.ReferenceLoop = true
+	p := assembleFor(t, "loop", loopSrc, ArchSBISWI)
+	l := newLaunch(p, 4, 256, 4*256, 0)
+	if _, err := Run(cfg, l); err != nil {
+		t.Fatal(err)
+	}
+	lFast := newLaunch(assembleFor(t, "loop", loopSrc, ArchSBISWI), 4, 256, 4*256, 0)
+	if _, err := Run(Configure(ArchSBISWI), lFast); err != nil {
+		t.Fatal(err)
+	}
+	for i := range l.Global {
+		if l.Global[i] != lFast.Global[i] {
+			t.Fatalf("reference and fast paths disagree on memory at byte %d", i)
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 // intra-wave coalescing into 128-byte transactions (replayed one per
 // LSU cycle), L1/DRAM timing, the functional load/store, and — when
 // SplitOnMemDivergence is enabled — the DWS-style hit/miss warp split.
+// Transaction bookkeeping lives in per-SM scratch buffers (txnBuf,
+// txnReady) so the path allocates nothing.
 func (s *SM) execMem(c *candidate) error {
 	w, ins := c.w, c.ins
 
@@ -64,7 +66,7 @@ func (s *SM) execMem(c *candidate) error {
 
 	// Global memory: coalesce per wave, one transaction per LSU cycle.
 	blockBytes := uint32(s.cfg.Mem.BlockBytes)
-	var txnBlocks []uint32
+	txnBlocks := s.txnBuf[:0]
 	waves := 0
 	per := s.cfg.LSUWidth
 	for lo := 0; lo < s.cfg.WarpWidth; lo += per {
@@ -74,6 +76,7 @@ func (s *SM) execMem(c *candidate) error {
 			waves++
 		}
 	}
+	s.txnBuf = txnBlocks
 	txns := int64(len(txnBlocks))
 	s.units.issueLSU(txns, s.now)
 	s.stats.Transactions += uint64(txns)
@@ -95,15 +98,16 @@ func (s *SM) execMem(c *candidate) error {
 	// Loads: each transaction returns at its own cycle; the split's
 	// writeback is the slowest one unless memory-divergence splitting
 	// lets hit threads run ahead.
-	readyOf := make(map[uint32]int64, len(txnBlocks))
+	ready := s.txnReady[:0]
 	maxReady := int64(0)
 	for _, b := range txnBlocks {
 		r := s.hier.Load(s.now, b)
-		readyOf[b] = r
+		ready = append(ready, r)
 		if r > maxReady {
 			maxReady = r
 		}
 	}
+	s.txnReady = ready
 
 	if s.cfg.SplitOnMemDivergence {
 		hitBound := s.now + s.cfg.Mem.HitLatency
@@ -111,7 +115,7 @@ func (s *SM) execMem(c *candidate) error {
 		hitReady := int64(0)
 		for m := c.mask; m != 0; m &= m - 1 {
 			t := bits.TrailingZeros64(m)
-			r := readyOf[addrs[t]&^(blockBytes-1)]
+			r := txnReadyOf(txnBlocks, ready, addrs[t]&^(blockBytes-1))
 			if r <= hitBound {
 				hitMask |= 1 << uint(t)
 				if r > hitReady {
@@ -142,4 +146,16 @@ func (s *SM) execMem(c *candidate) error {
 	s.sb.Issue(w.id, ins, c.slot, c.mask, maxReady)
 	s.advance(c, c.pc+1)
 	return nil
+}
+
+// txnReadyOf returns the data-return cycle of the transaction covering
+// block (the coalescer guarantees every active lane's block is in the
+// list, so the scan always finds it).
+func txnReadyOf(blocks []uint32, ready []int64, block uint32) int64 {
+	for i, b := range blocks {
+		if b == block {
+			return ready[i]
+		}
+	}
+	return 0
 }

@@ -1,0 +1,225 @@
+package sm
+
+// This file holds the incrementally maintained scheduler state and the
+// idle-cycle fast-forward. Together they replace the seed's per-cycle
+// full rescan of every warp context with event-driven bookkeeping:
+//
+//   - readySet / slotOf cache, per warp, whether the front-end's
+//     pre-scoreboard checks pass (resident, not at a barrier, primary
+//     slot exists and is not suspended) and which hot slot the primary
+//     front-end follows. The cache is refreshed at exactly the events
+//     that can change it — an issue on the warp (heap mutation, barrier
+//     arrival, thread exit), a barrier release, a block launch or
+//     retire — so per-cycle scheduling walks only live candidates.
+//   - fastForward advances s.now across spans in which no candidate can
+//     issue. During such a span every scheduler-visible input is frozen
+//     (issues are the only events, and none happen), so the wake-up
+//     cycle is computable in closed form from the scoreboard writeback
+//     times and the unit free times, and the scoreboard counters the
+//     skipped probes would have incremented are reproduced arithmetically.
+//
+// Both layers are cycle- and statistics-exact with the retained
+// reference loop (Config.ReferenceLoop); TestFastPathEquivalence
+// asserts identical Stats across kernels and architectures.
+
+import (
+	"math"
+	"math/bits"
+)
+
+// warpBits is a bitset over the SM's warp contexts, iterated in
+// ascending warp order — the order the reference rescan visits warps,
+// which oldest-first selection and tie-breaking depend on.
+type warpBits []uint64
+
+func newWarpBits(n int) warpBits { return make(warpBits, (n+63)/64) }
+
+func (b warpBits) set(i int)   { b[i>>6] |= 1 << uint(i&63) }
+func (b warpBits) clear(i int) { b[i>>6] &^= 1 << uint(i&63) }
+
+// refreshWarp recomputes the cached schedulability of one warp after an
+// event that may have changed it. The invariant maintained: a warp's
+// readySet bit is set if and only if the reference scheduler's
+// pre-scoreboard checks would pass for it this cycle, and slotOf holds
+// its primary front-end slot. Everything the checks read — block
+// residency, barrier state, the warp's own heap or stack — is local to
+// the warp, so refreshing on the warp's own events suffices.
+func (s *SM) refreshWarp(w *warp) {
+	if w.block != nil && !w.deadCounted && w.done() {
+		// First observation of the warp's completion: fold it into the
+		// block's live counter for the O(blocks) retire/barrier sweeps.
+		w.deadCounted = true
+		w.block.live--
+	}
+	slot := 0
+	ok := false
+	if w.block != nil && !w.atBarrier {
+		if w.heap != nil {
+			if !w.heap.Done() {
+				slot = s.primarySlot(w)
+				ok = w.heap.Eligible(slot)
+			}
+		} else if _, _, live := w.stack.Active(); live {
+			ok = true
+		}
+	}
+	s.slotOf[w.id] = int8(slot)
+	if ok {
+		s.readySet.set(w.id)
+	} else {
+		s.readySet.clear(w.id)
+	}
+}
+
+// idleCand summarizes one schedulable (warp, slot) candidate during an
+// idle span. With all scheduler inputs frozen, each per-cycle probe's
+// outcome is a step function of the cycle t:
+//
+//	t <  hazT:            the scoreboard reports a data-hazard stall
+//	hazT <= t < structT:  the entry table is structurally full (counted
+//	                      as both a stall and a structural stall)
+//	t >= stallT:          the scoreboard is clear; only the target
+//	                      unit's busy time holds the candidate back
+//
+// where stallT = max(hazT, structT) and wake folds in the unit.
+type idleCand struct {
+	hazT    int64
+	structT int64
+	stallT  int64
+	wake    int64
+	residue int64 // substitute-probe residue mod numSets; -1 when none
+}
+
+// negInf is a sentinel "always in the past" threshold, kept far from
+// the int64 edge so adding IssueDelay cannot overflow.
+const negInf = math.MinInt64 / 4
+
+// fastForward is called after a cycle that issued nothing. It computes
+// the earliest cycle at which any candidate can issue, accounts the
+// scoreboard counters the skipped per-cycle probes would have
+// incremented, and jumps s.now there. When nothing can ever wake
+// (no schedulable candidate exists and no issue will create one), it
+// reproduces the reference loop's livelock abort at the cycle limit.
+func (s *SM) fastForward(maxCycles int64) error {
+	d := s.cfg.IssueDelay
+	qf := s.now - d - 1 // scoreboard entries written back by qf are dead for the whole span
+	swi := s.cfg.Arch == ArchSWI || s.cfg.Arch == ArchSBISWI
+	numSets := int64(1)
+	if swi {
+		numSets = int64(s.lookup.NumSets())
+	}
+
+	cands := s.idleBuf[:0]
+	wake := int64(math.MaxInt64)
+	for base, word := range s.readySet {
+		for ; word != 0; word &= word - 1 {
+			id := base<<6 | bits.TrailingZeros64(word)
+			w := s.warps[id]
+			slot := int(s.slotOf[id])
+			var pc int
+			var mask uint64
+			if w.heap != nil {
+				c := w.heap.Slot(slot)
+				pc, mask = c.PC, c.Mask
+			} else {
+				pc, mask, _ = w.stack.Active()
+			}
+			ins := s.prog.At(pc)
+			hazWB, hasHaz, structWB, hasStruct := s.sb.Horizon(w.id, ins, s.srcsOf[pc], slot, mask, qf)
+
+			hazT := int64(negInf)
+			if hasHaz {
+				hazT = hazWB + d
+			}
+			structT := hazT // empty structural window by default
+			if hasStruct {
+				structT = structWB + d
+			}
+			stallT := hazT
+			if structT > stallT {
+				stallT = structT
+			}
+			wakeC := stallT
+			if u := s.units.freeAt(ins.Op.Unit()); u > wakeC {
+				wakeC = u
+			}
+			if wakeC < s.now {
+				wakeC = s.now
+			}
+			residue := int64(-1)
+			if swi {
+				residue = int64(s.memberOf[id])
+			}
+			cands = append(cands, idleCand{hazT: hazT, structT: structT, stallT: stallT, wake: wakeC, residue: residue})
+			if wakeC < wake {
+				wake = wakeC
+			}
+		}
+	}
+	s.idleBuf = cands
+
+	// The reference loop would burn idle cycles one at a time until the
+	// wake-up — or until the cycle limit trips with s.now just past it.
+	if wake > maxCycles+1 {
+		wake = maxCycles + 1
+	}
+	if wake <= s.now {
+		return nil
+	}
+	s.accountIdle(cands, s.now, wake-1, numSets)
+	s.now = wake
+	if s.now > maxCycles {
+		return s.livelockErr(maxCycles)
+	}
+	return nil
+}
+
+// accountIdle reproduces, arithmetically, the scoreboard counters the
+// reference loop would have incremented over the idle cycles [a, b]:
+// each cycle the primary scheduler probes every schedulable candidate
+// once, and — on the SWI architectures, with no primary found — the
+// substitute secondary probes the candidates of buddy set (cycle mod
+// numSets) a second time.
+func (s *SM) accountIdle(cands []idleCand, a, b int64, numSets int64) {
+	st := &s.sb.Stats
+	for i := range cands {
+		c := &cands[i]
+		stallHi := min(b, c.stallT-1)
+		structLo := max(a, c.hazT)
+		structHi := min(b, c.structT-1)
+
+		st.Checks += count(a, b)
+		st.Stalls += count(a, stallHi)
+		st.Structural += count(structLo, structHi)
+
+		if c.residue >= 0 {
+			st.Checks += countResidue(a, b, c.residue, numSets)
+			st.Stalls += countResidue(a, stallHi, c.residue, numSets)
+			st.Structural += countResidue(structLo, structHi, c.residue, numSets)
+		}
+	}
+}
+
+// count returns the number of integers in [lo, hi] (0 when empty).
+func count(lo, hi int64) uint64 {
+	if hi < lo {
+		return 0
+	}
+	return uint64(hi - lo + 1)
+}
+
+// countResidue returns the number of integers t in [lo, hi] with
+// t mod m == r (lo >= 0, 0 <= r < m).
+func countResidue(lo, hi, r, m int64) uint64 {
+	if hi < lo {
+		return 0
+	}
+	if m == 1 {
+		return uint64(hi - lo + 1)
+	}
+	first := lo + (r-lo%m+m)%m
+	if first > hi {
+		return 0
+	}
+	return uint64((hi-first)/m + 1)
+}

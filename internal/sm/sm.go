@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"strings"
 
 	"repro/internal/exec"
 	"repro/internal/isa"
@@ -29,7 +30,29 @@ type SM struct {
 	ctaEnd  int
 	now     int64
 
-	srcBuf []isa.Reg
+	// Incrementally maintained scheduler state (see schedfast.go):
+	// readySet holds exactly the warps the per-cycle rescan would probe
+	// past its pre-scoreboard checks, slotOf their primary front-end
+	// slot. Both are refreshed at the events that change eligibility —
+	// issue, barrier release, block launch and retire — instead of being
+	// re-derived from every warp context each cycle.
+	readySet warpBits
+	slotOf   []int8
+	setBits  []warpBits // SWI: per-buddy-set warp masks
+	memberOf []int      // SWI: buddy-set index containing each warp
+	nextPoll int64      // next context-poll cycle
+
+	// srcsOf caches each instruction's source-register list, indexed by
+	// PC — static per program, recomputed by the seed on every probe.
+	srcsOf [][]isa.Reg
+
+	// Reusable scratch buffers: the steady-state issue path performs no
+	// heap allocation (enforced by TestSteadyStateZeroAllocs).
+	swiTies  []candidate
+	freeBuf  []*warp
+	txnBuf   []uint32
+	txnReady []int64
+	idleBuf  []idleCand
 
 	stats Stats
 	trace *Trace
@@ -80,6 +103,8 @@ func (r *Result) DeviceCycles() int64 {
 }
 
 // candidate is an issueable (warp, split) pair resolved by a scheduler.
+// It is passed by pointer into scratch storage, never heap-allocated on
+// the issue path.
 type candidate struct {
 	w    *warp
 	slot int // hot-context slot for heap configs; 0 for the stack
@@ -140,6 +165,20 @@ func RunRange(ctx context.Context, cfg Config, l *exec.Launch, ctaStart, ctaEnd 
 
 // RunRangeOpts is RunRange with explicit memory-system wiring.
 func RunRangeOpts(ctx context.Context, cfg Config, l *exec.Launch, ctaStart, ctaEnd int, opts RunOpts) (*Result, error) {
+	s, err := newSM(cfg, l, ctaStart, ctaEnd, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.run(ctx); err != nil {
+		return nil, err
+	}
+	return s.result(), nil
+}
+
+// newSM validates the configuration and launch and builds a fresh SM
+// with every scratch buffer preallocated, ready to simulate the CTA
+// sub-range [ctaStart, ctaEnd).
+func newSM(cfg Config, l *exec.Launch, ctaStart, ctaEnd int, opts RunOpts) (*SM, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -190,42 +229,105 @@ func RunRangeOpts(ctx context.Context, cfg Config, l *exec.Launch, ctaStart, cta
 		s.trace = &Trace{cap: cfg.TraceCap}
 	}
 
-	maxCycles := cfg.MaxCycles
+	flat := make([]isa.Reg, 0, 3*l.Prog.Len()) // SrcRegs appends at most 3, so flat never reallocates
+	s.srcsOf = make([][]isa.Reg, l.Prog.Len())
+	for pc := 0; pc < l.Prog.Len(); pc++ {
+		start := len(flat)
+		flat = l.Prog.At(pc).SrcRegs(flat)
+		s.srcsOf[pc] = flat[start:len(flat):len(flat)]
+	}
+
+	s.readySet = newWarpBits(cfg.NumWarps)
+	s.slotOf = make([]int8, cfg.NumWarps)
+	s.swiTies = make([]candidate, 0, cfg.NumWarps)
+	s.freeBuf = make([]*warp, 0, cfg.NumWarps)
+	s.idleBuf = make([]idleCand, 0, cfg.NumWarps)
+	s.txnBuf = make([]uint32, 0, cfg.WarpWidth)
+	s.txnReady = make([]int64, 0, cfg.WarpWidth)
+	if cfg.Arch == ArchSWI || cfg.Arch == ArchSBISWI {
+		ns := lk.NumSets()
+		s.setBits = make([]warpBits, ns)
+		s.memberOf = make([]int, cfg.NumWarps)
+		for si := 0; si < ns; si++ {
+			m := newWarpBits(cfg.NumWarps)
+			for _, wid := range lk.SetWarps(si) {
+				m.set(wid)
+				s.memberOf[wid] = si
+			}
+			s.setBits[si] = m
+		}
+	}
+	return s, nil
+}
+
+// run drives the simulation to completion (or error), polling the
+// context about every 1k cycles.
+func (s *SM) run(ctx context.Context) error {
+	maxCycles := s.cfg.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = defaultMaxCycles
 	}
-
 	for {
-		if s.now&1023 == 0 {
+		if s.now >= s.nextPoll {
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return ctx.Err()
 			default:
 			}
+			s.nextPoll = (s.now &^ 1023) + 1024
 		}
-		s.retireBlocks()
-		s.launchBlocks()
-		if s.done() {
-			break
+		done, err := s.step(maxCycles)
+		if err != nil {
+			return err
 		}
-		s.releaseBarriers()
-		if err := s.cycle(); err != nil {
-			return nil, err
-		}
-		s.now++
-		if s.now > maxCycles {
-			return nil, fmt.Errorf("sm: %s on %s: cycle limit %d exceeded (livelock?)\n%s",
-				s.prog.Name, cfg.Arch, maxCycles, s.dumpState())
+		if done {
+			return nil
 		}
 	}
+}
 
+// step advances the simulation by one front-end iteration: block
+// retire/launch, barrier release, one scheduling cycle, and — when the
+// cycle issued nothing — the idle-span fast-forward. It reports whether
+// the sub-range has completed. Exposed inside the package so tests can
+// drive and measure the hot loop directly.
+func (s *SM) step(maxCycles int64) (bool, error) {
+	s.retireBlocks()
+	s.launchBlocks()
+	if s.done() {
+		return true, nil
+	}
+	s.releaseBarriers()
+	issued, err := s.cycle()
+	if err != nil {
+		return false, err
+	}
+	s.now++
+	if s.now > maxCycles {
+		return false, s.livelockErr(maxCycles)
+	}
+	if !issued && !s.cfg.ReferenceLoop {
+		if err := s.fastForward(maxCycles); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+func (s *SM) livelockErr(maxCycles int64) error {
+	return fmt.Errorf("sm: %s on %s: cycle limit %d exceeded at cycle %d (livelock?)\n%s",
+		s.prog.Name, s.cfg.Arch, maxCycles, s.now, s.dumpState())
+}
+
+// result finalizes and packages the run statistics.
+func (s *SM) result() *Result {
 	s.stats.Cycles = s.now
 	s.stats.ScoreboardChecks = s.sb.Stats.Checks
 	s.stats.ScoreboardStalls = s.sb.Stats.Stalls
 	s.stats.StructuralStalls = s.sb.Stats.Structural
 	s.stats.Mem = s.hier.Stats
 	s.collectHeapStats()
-	return &Result{Stats: s.stats, Trace: s.trace, MemTrace: s.hier.Trace()}, nil
+	return &Result{Stats: s.stats, Trace: s.trace, MemTrace: s.hier.Trace()}
 }
 
 // collectHeapStats folds per-warp reconvergence statistics of the still
@@ -263,39 +365,41 @@ func (s *SM) done() bool {
 
 // dumpState renders a one-line-per-warp summary for livelock reports.
 func (s *SM) dumpState() string {
-	out := ""
+	var out strings.Builder
+	fmt.Fprintf(&out, "  cycle %d, next CTA %d of [., %d)\n", s.now, s.nextCTA, s.ctaEnd)
 	for _, w := range s.warps {
 		if w.block == nil {
 			continue
 		}
-		out += fmt.Sprintf("  warp %d (cta %d) atBarrier=%v: ", w.id, w.block.cta, w.atBarrier)
+		fmt.Fprintf(&out, "  warp %d (cta %d) atBarrier=%v: ", w.id, w.block.cta, w.atBarrier)
 		if w.heap != nil {
 			for i := 0; i < reconv.HotContexts; i++ {
 				if c := w.heap.Slot(i); c != nil {
-					out += fmt.Sprintf("slot%d{pc=%d mask=%x wait=%d parked=%v} ",
+					fmt.Fprintf(&out, "slot%d{pc=%d mask=%x wait=%d parked=%v} ",
 						i, c.PC, c.Mask, c.WaitDiv, c.Parked)
 				}
 			}
-			out += w.heap.String()
+			out.WriteString(w.heap.String())
 		} else if pc, mask, ok := w.stack.Active(); ok {
-			out += fmt.Sprintf("stack{pc=%d mask=%x}", pc, mask)
+			fmt.Fprintf(&out, "stack{pc=%d mask=%x}", pc, mask)
 		}
-		out += "\n"
+		out.WriteByte('\n')
 	}
-	return out
+	return out.String()
 }
 
 // retireBlocks frees the warps of completed blocks.
 func (s *SM) retireBlocks() {
 	out := s.blocks[:0]
 	for _, b := range s.blocks {
-		if b.liveWarps() > 0 {
+		if b.live > 0 {
 			out = append(out, b)
 			continue
 		}
 		for _, w := range b.warps {
 			s.foldWarpStats(w)
 			w.block = nil
+			s.refreshWarp(w)
 		}
 		s.stats.BlocksRun++
 	}
@@ -306,7 +410,7 @@ func (s *SM) retireBlocks() {
 func (s *SM) launchBlocks() {
 	warpsPerBlock := (s.launch.BlockDim + s.cfg.WarpWidth - 1) / s.cfg.WarpWidth
 	for s.nextCTA < s.ctaEnd {
-		var free []*warp
+		free := s.freeBuf[:0]
 		for _, w := range s.warps {
 			if w.block == nil {
 				free = append(free, w)
@@ -323,14 +427,17 @@ func (s *SM) launchBlocks() {
 	}
 }
 
-// startBlock initializes warp state for one CTA.
+// startBlock initializes warp state for one CTA. ws may be scratch; the
+// block keeps its own copy.
 func (s *SM) startBlock(cta int, ws []*warp) {
-	b := &block{cta: cta, warps: ws, shared: make([]byte, s.prog.SharedMem)}
-	for wi, w := range ws {
+	b := &block{cta: cta, warps: append([]*warp(nil), ws...), shared: make([]byte, s.prog.SharedMem)}
+	b.live = len(b.warps)
+	for wi, w := range b.warps {
 		w.block = b
 		w.base = wi * s.cfg.WarpWidth
 		w.valid = 0
 		w.atBarrier = false
+		w.deadCounted = false
 		w.lastIssue = -1
 		if cap(w.regs) < s.cfg.WarpWidth {
 			w.regs = make([]exec.Regs, s.cfg.WarpWidth)
@@ -340,6 +447,13 @@ func (s *SM) startBlock(cta int, ws []*warp) {
 		w.envs = w.envs[:s.cfg.WarpWidth]
 		if w.laneOf == nil {
 			w.laneOf = s.cfg.Shuffle.Permutation(w.id, s.cfg.WarpWidth, s.cfg.NumWarps)
+			w.identity = true
+			for i, l := range w.laneOf {
+				if l != i {
+					w.identity = false
+					break
+				}
+			}
 		}
 		for t := 0; t < s.cfg.WarpWidth; t++ {
 			tid := w.base + t
@@ -363,6 +477,7 @@ func (s *SM) startBlock(cta int, ws []*warp) {
 			w.stack = reconv.NewStack(w.valid)
 			w.heap = nil
 		}
+		s.refreshWarp(w)
 	}
 	s.blocks = append(s.blocks, b)
 }
@@ -386,7 +501,9 @@ func (s *SM) releaseBarriers() {
 			} else {
 				w.stack.Advance()
 			}
+			s.refreshWarp(w)
 		}
+		b.arrived = 0
 	}
 }
 
@@ -407,30 +524,34 @@ func (s *SM) mutateHeap(w *warp, f func()) {
 
 // cycle performs one scheduling cycle: every pool issues a primary
 // instruction, then the secondary slot (if the architecture has one)
-// fills the gap per §3/§4.
-func (s *SM) cycle() error {
+// fills the gap per §3/§4. It reports whether anything issued — when
+// nothing did, every scheduler-visible input is frozen until the next
+// wake-up event and the caller may fast-forward.
+func (s *SM) cycle() (bool, error) {
+	var prim candidate
 	if s.cfg.Arch == ArchBaseline {
+		issued := false
 		for pool := 0; pool < s.cfg.pools(); pool++ {
-			if c := s.selectPrimary(pool); c != nil {
-				if err := s.issue(c, false, provNone); err != nil {
-					return err
+			if s.selectPrimary(pool, &prim) {
+				if err := s.issue(&prim, false, provNone); err != nil {
+					return issued, err
 				}
+				issued = true
 			}
 		}
-		return nil
+		return issued, nil
 	}
 
-	prim := s.selectPrimary(0)
-	if prim == nil {
+	if !s.selectPrimary(0, &prim) {
 		// No primary: the secondary scheduler substitutes itself (§4),
 		// searching one buddy set selected round-robin.
 		if s.cfg.Arch == ArchSWI || s.cfg.Arch == ArchSBISWI {
-			set := int(s.now) % s.lookup.NumSets()
-			if c := s.bestSWICandidate(s.lookup.SetWarps(set), nil, isa.UnitCTRL, 0); c != nil {
-				return s.issue(c, true, provSWI)
+			var sub candidate
+			if s.swiSecondary(int(s.now)%s.lookup.NumSets(), nil, isa.UnitCTRL, 0, &sub) {
+				return true, s.issue(&sub, true, provSWI)
 			}
 		}
-		return nil
+		return false, nil
 	}
 
 	// Snapshot the other hot split before the primary issue mutates the
@@ -450,35 +571,36 @@ func (s *SM) cycle() error {
 		}
 	}
 
-	if err := s.issue(prim, false, provNone); err != nil {
-		return err
+	if err := s.issue(&prim, false, provNone); err != nil {
+		return true, err
 	}
 	if !s.cfg.hasSecondary() {
-		return nil
+		return true, nil
 	}
 
+	var sec candidate
 	// (a) SBI: the warp's own secondary split, if it survived the
 	// primary's heap mutation un-merged.
 	if haveSec {
-		if c := s.sbiCandidate(pw, secPC, secMask, s.divergenceCapable(primIns)); c != nil {
-			return s.issue(c, true, provSBI)
+		if s.sbiCandidate(pw, secPC, secMask, s.divergenceCapable(primIns), &sec) {
+			return true, s.issue(&sec, true, provSBI)
 		}
 	}
 	// (b) SWI: another warp from the buddy set.
 	if s.cfg.Arch == ArchSWI || s.cfg.Arch == ArchSBISWI {
 		primLane := pw.laneMask(primMask)
-		if c := s.bestSWICandidate(s.lookup.Candidates(pw.id), pw, primIns.Op.Unit(), primLane); c != nil {
-			return s.issue(c, true, provSWI)
+		if s.swiSecondary(s.lookup.SetOf(pw.id), pw, primIns.Op.Unit(), primLane, &sec) {
+			return true, s.issue(&sec, true, provSWI)
 		}
 	}
 	// (c) Sequential fallback: next instruction of the primary split to
 	// a distinct unit group.
 	if s.cfg.Arch == ArchSBI || s.cfg.Arch == ArchSBISWI {
-		if c := s.seqCandidate(pw, primIns, primPC, primMask); c != nil {
-			return s.issue(c, true, provSeq)
+		if s.seqCandidate(pw, primIns, primPC, primMask, &sec) {
+			return true, s.issue(&sec, true, provSeq)
 		}
 	}
-	return nil
+	return true, nil
 }
 
 // prov is the provenance of a secondary issue, for statistics.
@@ -506,11 +628,45 @@ func (s *SM) primarySlot(w *warp) int {
 }
 
 // selectPrimary picks the least-recently-issued ready (warp, split) in
-// the pool (oldest-first, §2). pool is a parity filter for the baseline
-// and 0 for single-pool architectures.
-func (s *SM) selectPrimary(pool int) *candidate {
-	var best *candidate
+// the pool (oldest-first, §2) into out. pool is a parity filter for the
+// baseline and 0 for single-pool architectures. The fast path walks
+// only the incrementally maintained issuable set; the reference path
+// rescans every warp context. Both probe the same candidates in the
+// same (ascending warp) order, so scoreboard counters and tie-breaking
+// draws are identical.
+func (s *SM) selectPrimary(pool int, out *candidate) bool {
+	if s.cfg.ReferenceLoop {
+		return s.selectPrimaryRef(pool, out)
+	}
+	parity := s.cfg.pools() == 2
+	found := false
 	var bestAge int64
+	var cur candidate
+	for base, word := range s.readySet {
+		for ; word != 0; word &= word - 1 {
+			id := base<<6 | bits.TrailingZeros64(word)
+			if parity && id&1 != pool {
+				continue
+			}
+			w := s.warps[id]
+			slot := int(s.slotOf[id])
+			if !s.probe(w, slot, &cur) {
+				continue
+			}
+			age := s.lastIssueOf(w, slot)
+			if !found || age < bestAge {
+				*out, bestAge, found = cur, age, true
+			}
+		}
+	}
+	return found
+}
+
+// selectPrimaryRef is the retained full-rescan reference scheduler.
+func (s *SM) selectPrimaryRef(pool int, out *candidate) bool {
+	found := false
+	var bestAge int64
+	var cur candidate
 	for _, w := range s.warps {
 		if w.block == nil || w.done() || w.atBarrier {
 			continue
@@ -519,16 +675,15 @@ func (s *SM) selectPrimary(pool int) *candidate {
 			continue
 		}
 		slot := s.primarySlot(w)
-		c := s.eligible(w, slot)
-		if c == nil {
+		if !s.eligibleRef(w, slot, &cur) {
 			continue
 		}
 		age := s.lastIssueOf(w, slot)
-		if best == nil || age < bestAge {
-			best, bestAge = c, age
+		if !found || age < bestAge {
+			*out, bestAge, found = cur, age, true
 		}
 	}
-	return best
+	return found
 }
 
 // lastIssueOf returns the age key used for oldest-first selection.
@@ -541,46 +696,68 @@ func (s *SM) lastIssueOf(w *warp, slot int) int64 {
 	return w.lastIssue
 }
 
-// eligible builds the candidate for (warp, slot) if it can issue now:
-// the split exists and is not suspended, it has not issued this cycle,
-// its dependencies cleared IssueDelay cycles ago, and its target unit
-// has capacity.
-func (s *SM) eligible(w *warp, slot int) *candidate {
+// probe builds the candidate for a warp taken from the issuable set:
+// the cached eligibility already holds, leaving only the per-cycle
+// checks — the once-per-cycle issue guard, the scoreboard query and the
+// unit capacity.
+func (s *SM) probe(w *warp, slot int, out *candidate) bool {
+	var pc int
+	var mask uint64
+	if w.heap != nil {
+		c := w.heap.Slot(slot)
+		if c.LastIssue >= s.now {
+			return false
+		}
+		pc, mask = c.PC, c.Mask
+	} else {
+		if w.lastIssue >= s.now {
+			return false
+		}
+		pc, mask, _ = w.stack.Active()
+	}
+	return s.finishCandidate(w, slot, pc, mask, out)
+}
+
+// eligibleRef re-derives eligibility from the warp context (reference
+// path) before the shared per-cycle checks: the split exists and is not
+// suspended, it has not issued this cycle, its dependencies cleared
+// IssueDelay cycles ago, and its target unit has capacity.
+func (s *SM) eligibleRef(w *warp, slot int, out *candidate) bool {
 	var pc int
 	var mask uint64
 	if w.heap != nil {
 		if !w.heap.Eligible(slot) {
-			return nil
+			return false
 		}
 		c := w.heap.Slot(slot)
 		if c == nil || c.LastIssue >= s.now {
-			return nil
+			return false
 		}
 		pc, mask = c.PC, c.Mask
 	} else {
 		var ok bool
 		pc, mask, ok = w.stack.Active()
 		if !ok || w.lastIssue >= s.now {
-			return nil
+			return false
 		}
 	}
-	return s.finishCandidate(w, slot, pc, mask)
+	return s.finishCandidate(w, slot, pc, mask, out)
 }
 
 // finishCandidate applies the scoreboard and unit checks shared by all
-// schedulers.
-func (s *SM) finishCandidate(w *warp, slot int, pc int, mask uint64) *candidate {
+// schedulers, filling out on success.
+func (s *SM) finishCandidate(w *warp, slot int, pc int, mask uint64, out *candidate) bool {
 	ins := s.prog.At(pc)
 	qnow := s.now - s.cfg.IssueDelay
-	s.srcBuf = ins.SrcRegs(s.srcBuf[:0])
-	if s.sb.ReadyAt(w.id, ins, s.srcBuf, slot, mask, qnow) > qnow {
-		return nil
+	if s.sb.ReadyAt(w.id, ins, s.srcsOf[pc], slot, mask, qnow) > qnow {
+		return false
 	}
 	lane := w.laneMask(mask)
 	if !s.units.canIssue(ins.Op.Unit(), lane, s.now) {
-		return nil
+		return false
 	}
-	return &candidate{w: w, slot: slot, pc: pc, mask: mask, lane: lane, ins: ins}
+	*out = candidate{w: w, slot: slot, pc: pc, mask: mask, lane: lane, ins: ins}
+	return true
 }
 
 // divergenceCapable reports whether executing ins can create a new
@@ -599,9 +776,9 @@ func (s *SM) divergenceCapable(ins *isa.Instruction) bool {
 // second front-end — including the SYNC a waiting split must execute
 // to evaluate its selective barrier — except that two
 // divergence-capable instructions of one warp cannot share a cycle.
-func (s *SM) sbiCandidate(w *warp, pc int, mask uint64, primDiverges bool) *candidate {
+func (s *SM) sbiCandidate(w *warp, pc int, mask uint64, primDiverges bool, out *candidate) bool {
 	if w.heap == nil || w.atBarrier {
-		return nil
+		return false
 	}
 	slot := -1
 	for i := 0; i < reconv.HotContexts; i++ {
@@ -611,25 +788,25 @@ func (s *SM) sbiCandidate(w *warp, pc int, mask uint64, primDiverges bool) *cand
 		}
 	}
 	if slot < 0 || !w.heap.Eligible(slot) {
-		return nil
+		return false
 	}
 	if primDiverges && s.divergenceCapable(s.prog.At(pc)) {
-		return nil
+		return false
 	}
-	return s.finishCandidate(w, slot, pc, mask)
+	return s.finishCandidate(w, slot, pc, mask, out)
 }
 
 // seqCandidate dual-issues the next sequential instruction of the
 // just-issued primary split when it targets a different unit group and
 // its dependencies (including on the primary instruction itself, whose
 // scoreboard entry is already visible) allow.
-func (s *SM) seqCandidate(w *warp, primIns *isa.Instruction, primPC int, primMask uint64) *candidate {
+func (s *SM) seqCandidate(w *warp, primIns *isa.Instruction, primPC int, primMask uint64, out *candidate) bool {
 	if w.heap == nil || w.atBarrier || primIns.Op.Unit() == isa.UnitCTRL {
-		return nil
+		return false
 	}
 	next := primPC + 1
 	if next >= s.prog.Len() {
-		return nil
+		return false
 	}
 	// Locate the split: it advanced to next with the same mask (if it
 	// merged, was resorted away, or parked at the load under
@@ -642,69 +819,114 @@ func (s *SM) seqCandidate(w *warp, primIns *isa.Instruction, primPC int, primMas
 		}
 	}
 	if slot < 0 || !w.heap.Eligible(slot) {
-		return nil
+		return false
 	}
 	// The pair must target distinct unit groups; control instructions
 	// occupy no unit so they always qualify (the primary is never
 	// divergence-capable on this path, so a conditional branch is fine).
 	ins := s.prog.At(next)
 	if ins.Op.Unit() == primIns.Op.Unit() {
-		return nil
+		return false
 	}
-	return s.finishCandidate(w, slot, next, primMask)
+	return s.finishCandidate(w, slot, next, primMask, out)
 }
 
-// bestSWICandidate searches the buddy warps for the best-fitting ready
+// swiSecondary searches buddy set setIdx for the best-fitting ready
 // instruction whose lane mask does not conflict with the primary issue:
 // disjoint masks when sharing the MAD row, any mask when targeting a
 // free distinct unit (§4). Best fit maximizes occupied lanes; ties
-// break pseudo-randomly.
-func (s *SM) bestSWICandidate(warpIDs []int, exclude *warp, primUnit isa.Unit, primLane uint64) *candidate {
-	var best []*candidate
+// break pseudo-randomly. Fast and reference paths visit the set in the
+// same ascending-warp order, so the tie list — and therefore the PRNG
+// draw sequence — is identical.
+func (s *SM) swiSecondary(setIdx int, exclude *warp, primUnit isa.Unit, primLane uint64, out *candidate) bool {
+	ties := s.swiTies[:0]
 	bestFit := -1
-	for _, wid := range warpIDs {
-		w := s.warps[wid]
-		if w == exclude || w.block == nil || w.done() || w.atBarrier || w.heap == nil {
-			continue
+	var cur candidate
+	if s.cfg.ReferenceLoop {
+		for _, wid := range s.lookup.SetWarps(setIdx) {
+			w := s.warps[wid]
+			if w == exclude || w.block == nil || w.done() || w.atBarrier || w.heap == nil {
+				continue
+			}
+			slot := s.primarySlot(w)
+			if !w.heap.Eligible(slot) {
+				continue
+			}
+			c := w.heap.Slot(slot)
+			if c == nil || c.LastIssue >= s.now {
+				continue
+			}
+			fit, ok := s.swiProbe(w, slot, c.PC, c.Mask, primUnit, primLane, &cur)
+			if !ok {
+				continue
+			}
+			switch {
+			case fit > bestFit:
+				ties, bestFit = append(ties[:0], cur), fit
+			case fit == bestFit:
+				ties = append(ties, cur)
+			}
 		}
-		slot := s.primarySlot(w)
-		if !w.heap.Eligible(slot) {
-			continue
-		}
-		c := w.heap.Slot(slot)
-		if c == nil || c.LastIssue >= s.now {
-			continue
-		}
-		ins := s.prog.At(c.PC)
-		unit := ins.Op.Unit()
-		lane := w.laneMask(c.Mask)
-		if unit == isa.UnitMAD && primUnit == isa.UnitMAD && lane&primLane != 0 {
-			continue // would collide on the shared row
-		}
-		cand := s.finishCandidate(w, slot, c.PC, c.Mask)
-		if cand == nil {
-			continue
-		}
-		fit := popcount(lane)
-		switch {
-		case fit > bestFit:
-			best, bestFit = append(best[:0], cand), fit
-		case fit == bestFit:
-			best = append(best, cand)
+	} else {
+		set := s.setBits[setIdx]
+		for base, word := range set {
+			word &= s.readySet[base]
+			for ; word != 0; word &= word - 1 {
+				id := base<<6 | bits.TrailingZeros64(word)
+				w := s.warps[id]
+				if w == exclude || w.heap == nil {
+					continue
+				}
+				slot := int(s.slotOf[id])
+				c := w.heap.Slot(slot)
+				if c.LastIssue >= s.now {
+					continue
+				}
+				fit, ok := s.swiProbe(w, slot, c.PC, c.Mask, primUnit, primLane, &cur)
+				if !ok {
+					continue
+				}
+				switch {
+				case fit > bestFit:
+					ties, bestFit = append(ties[:0], cur), fit
+				case fit == bestFit:
+					ties = append(ties, cur)
+				}
+			}
 		}
 	}
-	switch len(best) {
+	s.swiTies = ties
+	switch len(ties) {
 	case 0:
-		return nil
+		return false
 	case 1:
-		return best[0]
+		*out = ties[0]
 	default:
-		return best[s.rng.Intn(len(best))]
+		*out = ties[s.rng.Intn(len(ties))]
 	}
+	return true
+}
+
+// swiProbe applies the §4 secondary constraints to one buddy-set
+// candidate — the MAD-row lane-collision filter happens before the
+// scoreboard probe, exactly as in hardware (and so before the
+// scoreboard counters tick) — and returns its lane fit.
+func (s *SM) swiProbe(w *warp, slot, pc int, mask uint64, primUnit isa.Unit, primLane uint64, out *candidate) (int, bool) {
+	ins := s.prog.At(pc)
+	unit := ins.Op.Unit()
+	lane := w.laneMask(mask)
+	if unit == isa.UnitMAD && primUnit == isa.UnitMAD && lane&primLane != 0 {
+		return 0, false // would collide on the shared row
+	}
+	if !s.finishCandidate(w, slot, pc, mask, out) {
+		return 0, false
+	}
+	return popcount(lane), true
 }
 
 // issue commits a candidate: functional execution, timing bookkeeping,
-// and control-state mutation.
+// and control-state mutation. The warp's cached schedulability is
+// refreshed afterwards — issuing is one of the events that change it.
 func (s *SM) issue(c *candidate, secondary bool, p prov) error {
 	w, ins := c.w, c.ins
 	active := popcount(c.mask)
@@ -731,6 +953,7 @@ func (s *SM) issue(c *candidate, secondary bool, p prov) error {
 	}
 	s.markIssued(w, c.slot)
 
+	var err error
 	switch {
 	case ins.Op == isa.OpSync:
 		s.stats.SyncThreadInstrs += uint64(active)
@@ -742,21 +965,20 @@ func (s *SM) issue(c *candidate, secondary bool, p prov) error {
 		s.execExit(c)
 	case ins.Op == isa.OpBar:
 		s.countInstr(ins, active)
-		if err := s.execBar(c); err != nil {
-			return err
-		}
+		err = s.execBar(c)
 	case ins.Op == isa.OpBra:
 		s.countInstr(ins, active)
 		s.execBranch(c)
 	case ins.Op.IsMemory():
 		s.countInstr(ins, active)
-		return s.execMem(c)
+		err = s.execMem(c)
 	default:
 		s.countInstr(ins, active)
 		s.units.issue(ins.Op.Unit(), c.lane, s.now)
 		s.execALU(c)
 	}
-	return nil
+	s.refreshWarp(w)
+	return err
 }
 
 func (s *SM) countInstr(ins *isa.Instruction, active int) {
@@ -860,6 +1082,7 @@ func (s *SM) execBar(c *candidate) error {
 	if w.heap != nil {
 		if c.mask == w.heap.Alive() {
 			w.atBarrier = true
+			w.block.arrived++
 			return nil
 		}
 		w.heap.Park(c.slot) // masks unchanged: no scoreboard transition
@@ -870,6 +1093,7 @@ func (s *SM) execBar(c *candidate) error {
 			s.prog.Name, c.pc, c.mask, alive)
 	}
 	w.atBarrier = true
+	w.block.arrived++
 	return nil
 }
 

@@ -93,6 +93,30 @@ func (u *units) issue(unit isa.Unit, laneMask uint64, now int64) {
 	}
 }
 
+// freeAt returns the earliest cycle at which an instruction of the
+// given unit class can next start, assuming no further issues happen
+// before then (the idle-span invariant: nothing issues, so same-cycle
+// MAD row sharing — which needs an issue in that very cycle — cannot
+// open the row early).
+func (u *units) freeAt(unit isa.Unit) int64 {
+	switch unit {
+	case isa.UnitCTRL:
+		return 0
+	case isa.UnitMAD:
+		min := u.madFree[0]
+		for _, f := range u.madFree[1:] {
+			if f < min {
+				min = f
+			}
+		}
+		return min
+	case isa.UnitSFU:
+		return u.sfuFree
+	default: // LSU
+		return u.lsuFree
+	}
+}
+
 // issueLSU reserves the load-store unit for txns transactions.
 func (u *units) issueLSU(txns int64, now int64) {
 	if txns < 1 {

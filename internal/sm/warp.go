@@ -7,38 +7,22 @@ import (
 	"repro/internal/reconv"
 )
 
-// block is one resident thread block.
+// block is one resident thread block. live and arrived are maintained
+// incrementally (warp completion in refreshWarp, barrier arrival in
+// execBar) so the per-cycle retire and barrier sweeps cost O(blocks)
+// instead of O(blocks × warps).
 type block struct {
-	cta    int
-	warps  []*warp
-	shared []byte
-}
-
-// liveWarps counts warps with unfinished threads.
-func (b *block) liveWarps() int {
-	n := 0
-	for _, w := range b.warps {
-		if !w.done() {
-			n++
-		}
-	}
-	return n
+	cta     int
+	warps   []*warp
+	shared  []byte
+	live    int // warps with unfinished threads
+	arrived int // live warps waiting at the block barrier
 }
 
 // barrierReady reports whether every live warp has arrived at the block
 // barrier.
 func (b *block) barrierReady() bool {
-	live := 0
-	for _, w := range b.warps {
-		if w.done() {
-			continue
-		}
-		live++
-		if !w.atBarrier {
-			return false
-		}
-	}
-	return live > 0
+	return b.live > 0 && b.arrived == b.live
 }
 
 // warp is one resident warp's architectural and micro-architectural
@@ -55,12 +39,26 @@ type warp struct {
 	stack *reconv.Stack
 	heap  *reconv.Heap
 
-	// laneOf maps tid -> physical lane under the configured shuffle.
-	laneOf []int
+	// laneOf maps tid -> physical lane under the configured shuffle;
+	// identity marks the trivial permutation so laneMask can skip the
+	// bit-by-bit transpose on the hot path.
+	laneOf   []int
+	identity bool
+
+	// laneCache memoizes the last transposed mask for non-identity
+	// shuffles: between divergence events the same split masks are
+	// probed cycle after cycle.
+	laneCacheMask uint64
+	laneCacheLane uint64
+	laneCacheOK   bool
 
 	// atBarrier marks a warp whose full-mask split issued BAR and now
 	// waits for the rest of the block.
 	atBarrier bool
+
+	// deadCounted marks that the warp's completion has been folded into
+	// its block's live counter.
+	deadCounted bool
 
 	// lastIssue is the warp-level issue guard for the stack model (the
 	// heap model tracks it per context).
@@ -82,10 +80,17 @@ func (w *warp) done() bool {
 
 // laneMask transposes a thread mask into lane space.
 func (w *warp) laneMask(mask uint64) uint64 {
+	if w.identity {
+		return mask
+	}
+	if w.laneCacheOK && w.laneCacheMask == mask {
+		return w.laneCacheLane
+	}
 	var out uint64
 	for m := mask; m != 0; m &= m - 1 {
 		tid := bits.TrailingZeros64(m)
 		out |= 1 << uint(w.laneOf[tid])
 	}
+	w.laneCacheMask, w.laneCacheLane, w.laneCacheOK = mask, out, true
 	return out
 }

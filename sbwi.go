@@ -1,6 +1,7 @@
 package sbwi
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/asm"
@@ -82,16 +83,6 @@ func ThreadFrontier(p *Program) (*Program, error) {
 // Architectures lists the modeled architectures in figure-7 order.
 func Architectures() []Arch { return sm.Architectures() }
 
-// Configure returns the paper's table-2 configuration for an
-// architecture. The result can be adjusted before Run (constraints,
-// shuffle policy, lookup associativity, memory geometry...).
-//
-// Deprecated: build a Device with NewDevice and functional options
-// (WithArch, WithShuffle, ...) instead; WithConfig accepts a hand-tuned
-// Config for anything without a dedicated option. Configure remains for
-// one release as the bridge between the two styles.
-func Configure(a Arch) Config { return sm.Configure(a) }
-
 // NewLaunch builds a launch. Params are byte offsets or scalar values
 // the kernel reads via %p0..%p15; passing more than the ISA's 16
 // parameters is a programming error and panics rather than silently
@@ -106,20 +97,6 @@ func NewLaunch(p *Program, grid, block int, global []byte, params ...uint32) *La
 	return l
 }
 
-// Run simulates the launch to completion on one SM and returns the
-// statistics (and the issue trace when cfg.TraceCap is set). Global
-// memory is mutated in place.
-//
-// Deprecated: use Device.Run, which adds cancellation, bounded host
-// parallelism and optional multi-SM grid partitioning:
-//
-//	dev, err := sbwi.NewDevice(sbwi.WithConfig(cfg))
-//	res, err := dev.Run(context.Background(), l)
-//
-// The single-SM Device path is cycle-exact with this function. Run
-// remains for one release.
-func Run(cfg Config, l *Launch) (*Result, error) { return sm.Run(cfg, l) }
-
 // RunReference executes the launch on the functional reference
 // simulator (stack-based, warpWidth-wide warps) — the architectural
 // oracle for kernel development.
@@ -129,21 +106,26 @@ func RunReference(l *Launch, warpWidth int) error {
 }
 
 // Verify runs a launch functionally on a copy and compares the final
-// global memory against a second copy run under cfg, returning an
-// error on any mismatch. It is a convenience for validating custom
-// kernels on every architecture.
-func Verify(cfg Config, l *Launch) error {
+// global memory against a second copy run on a device built from opts
+// (for example WithArch(SBISWI)), returning an error on any mismatch.
+// It is a convenience for validating custom kernels on every
+// architecture.
+func Verify(l *Launch, opts ...Option) error {
 	ref := l.CloneGlobal()
 	if _, err := exec.RunReference(ref, 32); err != nil {
 		return fmt.Errorf("sbwi: reference: %w", err)
 	}
+	dev, err := NewDevice(opts...)
+	if err != nil {
+		return err
+	}
 	cyc := l.CloneGlobal()
-	if _, err := sm.Run(cfg, cyc); err != nil {
-		return fmt.Errorf("sbwi: %v: %w", cfg.Arch, err)
+	if _, err := dev.Run(context.Background(), cyc); err != nil {
+		return fmt.Errorf("sbwi: cycle simulation: %w", err)
 	}
 	for i := range ref.Global {
 		if ref.Global[i] != cyc.Global[i] {
-			return fmt.Errorf("sbwi: %v: memory differs from reference at byte %d", cfg.Arch, i)
+			return fmt.Errorf("sbwi: memory differs from reference at byte %d", i)
 		}
 	}
 	return nil

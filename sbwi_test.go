@@ -101,7 +101,7 @@ func TestVerifyAcrossArchitectures(t *testing.T) {
 			global[i] = byte(i * 3)
 		}
 		l := NewLaunch(p, 2, 256, global, 0)
-		if err := Verify(Configure(a), l); err != nil {
+		if err := Verify(l, WithArch(a)); err != nil {
 			t.Errorf("%v: %v", a, err)
 		}
 	}
@@ -131,10 +131,10 @@ func TestVerifyCatchesBadKernel(t *testing.T) {
 	l := NewLaunch(tf, 4, 256, make([]byte, 64), 0)
 	// The race may or may not produce a difference, but Verify must
 	// never panic and must accept a deterministic single-thread launch.
-	_ = Verify(Configure(SWI), l)
+	_ = Verify(l, WithArch(SWI))
 
 	one := NewLaunch(tf, 1, 1, make([]byte, 64), 0)
-	if err := Verify(Configure(SWI), one); err != nil {
+	if err := Verify(one, WithArch(SWI)); err != nil {
 		t.Errorf("single-thread launch must verify: %v", err)
 	}
 }
@@ -194,10 +194,12 @@ func TestTraceFromFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	tf, _ := ThreadFrontier(prog)
-	cfgv := Configure(SBI)
-	cfgv.TraceCap = 32
+	dev, err := NewDevice(WithArch(SBI), WithTrace(32))
+	if err != nil {
+		t.Fatal(err)
+	}
 	l := NewLaunch(tf, 1, 64, make([]byte, 64*4), 0)
-	res, err := Run(cfgv, l)
+	res, err := dev.Run(context.Background(), l)
 	if err != nil {
 		t.Fatal(err)
 	}
