@@ -13,6 +13,8 @@ package sbwi
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/area"
@@ -213,10 +215,17 @@ func BenchmarkAblationMemSplit(b *testing.B) {
 
 // BenchmarkSuiteRunner compares the serial seed-style suite loop (one
 // sm.Run per benchmark, oracle-checked, in order) against the device
-// batch runner, which fans the same oracle-checked simulations out
-// across the worker pool. On a multi-core host the device runner's
-// wall-clock (ns/op) drops roughly with the core count; per-kernel
-// statistics are bit-identical between the two.
+// batch runner, which dispatches the same oracle-checked simulations
+// longest-job-first across the worker pool and routes the heavy tail
+// through the wave-partitioned engine (WithAutoPartition). The suite
+// is tail-bound by a handful of heavy kernels, so the batch runner's
+// wall-clock approaches max(heaviest wave, total/workers) rather than
+// dropping linearly with the core count; the device-parallel-w1/w4/wN
+// axis makes the worker scaling visible in bench output. Per-kernel
+// statistics stay bit-identical to the serial loop except for the
+// auto-partitioned tail entries, which carry the partitioned timing
+// model's numbers (deterministic for every worker count). No
+// simulation cache is attached: every iteration simulates for real.
 func BenchmarkSuiteRunner(b *testing.B) {
 	suite := Benchmarks()
 	b.Run("serial-seed", func(b *testing.B) {
@@ -235,8 +244,9 @@ func BenchmarkSuiteRunner(b *testing.B) {
 			}
 		}
 	})
-	b.Run("device-parallel", func(b *testing.B) {
-		dev, err := NewDevice(WithArch(SBI))
+	runDevice := func(b *testing.B, opts ...Option) {
+		b.Helper()
+		dev, err := NewDevice(append([]Option{WithArch(SBI), WithAutoPartition(true)}, opts...)...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -251,7 +261,17 @@ func BenchmarkSuiteRunner(b *testing.B) {
 				}
 			}
 		}
-	})
+	}
+	b.Run("device-parallel", func(b *testing.B) { runDevice(b) })
+	workerAxis := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		workerAxis = append(workerAxis, n)
+	}
+	for _, w := range workerAxis {
+		b.Run(fmt.Sprintf("device-parallel-w%d", w), func(b *testing.B) {
+			runDevice(b, WithWorkers(w))
+		})
+	}
 }
 
 // BenchmarkKernel provides per-kernel micro-benchmarks of the cycle

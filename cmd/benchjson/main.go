@@ -5,9 +5,17 @@
 // point the next one can be compared against (benchstat-style, but
 // dependency-free and diffable in review).
 //
+// With -compare the freshly measured medians are additionally checked
+// against a checked-in baseline: any benchmark regressing by more than
+// -max-regress percent in ns/op fails the run with a non-zero exit, so
+// the bench CI workflow catches hot-path regressions instead of just
+// archiving them. Benchmarks present on only one side are reported but
+// never fail the comparison (axes come and go across PRs).
+//
 // Usage:
 //
-//	go run ./cmd/benchjson -bench SuiteRunner -count 6 -o BENCH_PR3.json .
+//	go run ./cmd/benchjson -bench SuiteRunner -count 6 -o BENCH_PR4.json .
+//	go run ./cmd/benchjson -bench SuiteRunner -compare BENCH_PR4.json -max-regress 10 .
 //	go run ./cmd/benchjson -bench CycleLoop ./internal/sm
 package main
 
@@ -52,6 +60,8 @@ func main() {
 	bench := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
 	count := flag.Int("count", 6, "go test -count (median is reported)")
 	out := flag.String("o", "", "output JSON path (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON to compare the measured medians against")
+	maxRegress := flag.Float64("max-regress", 10, "fail when any common benchmark's ns/op regresses by more than this percent (with -compare)")
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
@@ -117,12 +127,67 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "" {
 		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+
+	if *compare != "" {
+		if !compareBaseline(&rep, *compare, *maxRegress) {
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBaseline checks the measured report against a baseline file,
+// printing one line per common benchmark, and reports whether every
+// common benchmark stayed within maxRegress percent of its baseline
+// ns/op.
+func compareBaseline(rep *Report, path string, maxRegress float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return false
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", path, err)
+		return false
+	}
+
+	names := make([]string, 0, len(rep.Benchmarks))
+	for name := range rep.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	ok := true
+	fmt.Printf("compare against %s (max ns/op regression %.0f%%):\n", path, maxRegress)
+	for _, name := range names {
+		got := rep.Benchmarks[name]
+		want, in := base.Benchmarks[name]
+		if !in {
+			fmt.Printf("  %-50s %12.0f ns/op  (new, no baseline)\n", name, got.NsPerOp)
+			continue
+		}
+		delta := 100 * (got.NsPerOp - want.NsPerOp) / want.NsPerOp
+		verdict := "ok"
+		if delta > maxRegress {
+			verdict = "REGRESSION"
+			ok = false
+		}
+		fmt.Printf("  %-50s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			name, want.NsPerOp, got.NsPerOp, delta, verdict)
+	}
+	for name := range base.Benchmarks {
+		if _, in := rep.Benchmarks[name]; !in {
+			fmt.Printf("  %-50s (in baseline, not measured)\n", name)
+		}
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regressed beyond %.0f%% against %s\n", maxRegress, path)
+	}
+	return ok
 }
 
 // median returns the median of one column across runs.

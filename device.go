@@ -32,6 +32,18 @@ type Device = device.Device
 // against the benchmark's Go reference).
 type SuiteResult = device.SuiteResult
 
+// SimCache memoizes oracle-validated RunSuite simulations across
+// passes and devices (attach one with WithSimCache). The cache key is
+// sound — it digests the full configuration via Config.Fingerprint —
+// and concurrent passes deduplicate in-flight work: the same cell is
+// simulated once, everyone else waits for the result. Safe for
+// concurrent use.
+type SimCache = device.SimCache
+
+// NewSimCache returns an empty simulation cache to share between
+// devices via WithSimCache.
+func NewSimCache() *SimCache { return device.NewSimCache() }
+
 // NewDevice builds a simulation device. The zero option set models a
 // single SBI+SWI SM with the paper's table-2 parameters; see the
 // With... options for everything that can be tuned.

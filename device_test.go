@@ -114,6 +114,100 @@ func TestPartitionedDeterminism(t *testing.T) {
 	}
 }
 
+// TestLJFDispatchOrderAndDeterminism asserts the batch scheduler's
+// contract: longest-job-first dispatch returns results at their input
+// index and produces bit-identical statistics for every worker count —
+// both on a cold cost registry (static estimates) and a warm one
+// (measured cycles), since the suite runs repeatedly within one
+// process. Auto-partitioning is enabled so the heavy-tail routing is
+// exercised under every worker count too.
+func TestLJFDispatchOrderAndDeterminism(t *testing.T) {
+	suite := suiteSubset(t)
+	var baseline []Stats
+	for _, workers := range []int{1, 4, 8} {
+		for pass := 0; pass < 2; pass++ { // pass 2 dispatches on measured costs
+			dev, err := NewDevice(
+				WithArch(SBISWI),
+				WithWorkers(workers),
+				WithAutoPartition(true),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := dev.RunSuite(context.Background(), suite)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats := make([]Stats, len(results))
+			for i, r := range results {
+				if r.Bench != suite[i] {
+					t.Fatalf("workers=%d pass=%d: result %d is %s, want input order preserved",
+						workers, pass, i, r.Bench.Name)
+				}
+				if r.Err != nil {
+					t.Fatalf("%s (workers=%d): %v", r.Bench.Name, workers, r.Err)
+				}
+				stats[i] = r.Result.Stats
+			}
+			if baseline == nil {
+				baseline = stats
+				continue
+			}
+			if !reflect.DeepEqual(stats, baseline) {
+				t.Errorf("stats with %d workers (pass %d) differ from the 1-worker baseline", workers, pass)
+			}
+		}
+	}
+}
+
+// TestAutoPartitionRoutesExactlyTheTail pins the auto-partition
+// policy's semantics: a heavy entry (static cost above the batch mean,
+// multi-wave grid) carries the partitioned engine's statistics, while
+// light entries stay cycle-exact with the whole-grid path.
+func TestAutoPartitionRoutesExactlyTheTail(t *testing.T) {
+	suite := suiteSubset(t) // Histogram, BFS, DWTHaar1D: only DWTHaar1D is above the mean
+	auto, err := NewDevice(WithArch(SBISWI), WithAutoPartition(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := NewDevice(WithArch(SBISWI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewDevice(WithArch(SBISWI), WithGridPartition(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	autoRes, err := auto.RunSuite(context.Background(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatRes, err := flat.RunSuite(context.Background(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partRes, err := part.RunSuite(context.Background(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range suite {
+		if autoRes[i].Err != nil || flatRes[i].Err != nil || partRes[i].Err != nil {
+			t.Fatalf("%s: %v / %v / %v", b.Name, autoRes[i].Err, flatRes[i].Err, partRes[i].Err)
+		}
+		heavy := b.Name == "DWTHaar1D"
+		want := flatRes[i].Result.Stats
+		if heavy {
+			want = partRes[i].Result.Stats
+		}
+		if !reflect.DeepEqual(autoRes[i].Result.Stats, want) {
+			t.Errorf("%s (heavy=%v): auto-partitioned stats do not match the expected path", b.Name, heavy)
+		}
+		if heavy && reflect.DeepEqual(autoRes[i].Result.Stats, flatRes[i].Result.Stats) {
+			t.Errorf("%s: expected the partitioned timing model to differ from the whole-grid run", b.Name)
+		}
+	}
+}
+
 // TestPartitionedSingleWaveIsSeedExact: a grid that fits the SM's CTA
 // residency is one wave, so even the partitioned path must be
 // cycle-exact with the seed Run.

@@ -70,6 +70,40 @@
 // same global location with the same value) instead of letting
 // scheduling order pick a winner.
 //
+// # Batch scheduling and memoization
+//
+// RunSuite is cost-aware: entries dispatch longest-job-first over the
+// worker pool, weighted by measured modeled cycles once a cell has run
+// in the process (a static grid×block estimate before), so a batch's
+// wall-clock is no longer bound by whichever heavy kernel a naive
+// schedule starts last. Two options extend it:
+//
+//   - WithAutoPartition(true) routes the batch's heavy tail — entries
+//     whose static cost exceeds the batch mean and whose grids span
+//     several CTA waves — through the wave-partitioned engine, so even
+//     one dominant kernel spreads across workers. The decision is a
+//     pure function of the batch (never of worker/SM counts or
+//     measured timings): results stay bit-identical for every
+//     parallelism setting, but auto-partitioned entries carry the
+//     partitioned timing model's numbers, which is why the option is
+//     off by default.
+//   - WithSimCache(NewSimCache()) memoizes oracle-validated entries
+//     across RunSuite passes and across devices sharing the cache. The
+//     key digests the benchmark, the full configuration
+//     (Config.Fingerprint covers every field reflectively — a cache
+//     key that cannot go stale as Config grows), the partitioning
+//     mode, the modeled memory system and, where it matters, the SM
+//     count. What invalidates the cache is therefore exactly "any of
+//     those changed"; worker counts never do, because they never
+//     change results. Concurrent passes deduplicate in-flight cells.
+//     Results served from the cache are shared and must be treated as
+//     read-only.
+//
+// The experiments runner uses both layers implicitly: every figure's
+// simulations go through one shared cache, and benchmark inputs and
+// oracle images are memoized per benchmark, so a full experiments pass
+// derives each (kernel, configuration) cell exactly once.
+//
 // # Memory hierarchy
 //
 // By default every SM sees the paper's memory model: a private 48 KB

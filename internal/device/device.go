@@ -30,6 +30,26 @@
 // Result.SMCycles/DeviceCycles report how the waves pack onto the
 // configured SMs.
 //
+// # Batch scheduling and memoization
+//
+// RunSuite dispatches its entries longest-job-first over the worker
+// pool, weighting each entry by its memoized measured cost (modeled
+// cycles from an earlier run in this process) or a static estimate
+// before one exists — so a batch's wall-clock approaches
+// max(heaviest entry, total/workers) instead of being tail-bound by
+// whichever heavy kernel a naive schedule dispatched last. With
+// WithAutoPartition the heavy tail itself is decomposed: entries whose
+// static cost exceeds the batch mean and whose grids span several CTA
+// waves run through the partitioned engine, so even a single dominant
+// kernel spreads across the pool. With WithSimCache, oracle-validated
+// entries are memoized by (benchmark, configuration fingerprint,
+// partitioning, memory system, SM count) and shared across passes and
+// devices. All three mechanisms are result-neutral by construction:
+// dispatch order and worker count never influence statistics, the
+// cache key is sound (sm.Config.Fingerprint digests every
+// configuration field), and the partition plan is a pure function of
+// the batch.
+//
 // # Shared memory system
 //
 // WithL2 / WithInterconnect replace the seed's flat-latency DRAM model
@@ -51,7 +71,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/exec"
 	"repro/internal/kernels"
@@ -62,14 +84,25 @@ import (
 
 // Device is an N-SM simulation engine. It is immutable after New and
 // safe for concurrent use: every Run gets fresh SM instances (and,
-// when the shared memory system is modeled, fresh L2/NoC instances),
-// and the device-wide worker semaphore is the only shared state.
+// when the shared memory system is modeled, fresh L2/NoC instances);
+// the only shared state is the device-wide worker semaphore and the
+// optional simulation cache, both concurrency-safe.
 type Device struct {
 	cfg       sm.Config
 	sms       int
 	workers   int
 	partition bool
+	autoPart  bool
 	sem       chan struct{}
+
+	// cache, when non-nil, memoizes oracle-validated RunSuite entries
+	// across passes and devices (WithSimCache).
+	cache *SimCache
+
+	// cfgFP / memsysFP are the precomputed cache-key digests of the SM
+	// configuration and the modeled memory system.
+	cfgFP    uint64
+	memsysFP uint64
 
 	// memsys enables the modeled L1→NoC→L2→DRAM hierarchy; l2cfg and
 	// noccfg are its validated parameters.
@@ -90,6 +123,8 @@ type settings struct {
 	sms       int
 	workers   int
 	partition bool
+	autoPart  bool
+	cache     *SimCache
 	l2        *mem.L2Config
 	noc       *noc.Config
 }
@@ -128,6 +163,33 @@ func WithWorkers(n int) Option {
 // with the classic single-SM path.
 func WithGridPartition(on bool) Option {
 	return func(s *settings) { s.partition = on }
+}
+
+// WithAutoPartition lets RunSuite route individual heavy entries
+// through the wave-partitioned engine on its own: an entry whose
+// static cost estimate exceeds the batch mean and whose grid
+// decomposes into at least two CTA waves is simulated as parallel
+// waves (exactly as under WithGridPartition), while light entries keep
+// the whole-grid path. The decision is a pure function of the batch —
+// never of the worker count, the SM count or measured timings — so
+// RunSuite results remain bit-identical across every parallelism
+// setting and across passes. Off by default: the default suite path
+// stays cycle-exact with the seed (the golden fixture pins it), and
+// auto-partitioned entries carry the partitioned timing model's
+// numbers (each wave starts on a cold SM). Device.Run is unaffected.
+func WithAutoPartition(on bool) Option {
+	return func(s *settings) { s.autoPart = on }
+}
+
+// WithSimCache attaches a simulation cache to the device: RunSuite
+// entries are memoized by (benchmark, configuration fingerprint,
+// partitioning, memory system, SM count) and served without
+// re-simulating on later passes — by this device or any other device
+// sharing the cache. Cached results were oracle-validated when first
+// computed; callers must treat results served from the cache as
+// read-only. A nil cache disables memoization (the default).
+func WithSimCache(c *SimCache) Option {
+	return func(s *settings) { s.cache = c }
 }
 
 // WithL2 puts a shared, banked L2 (and the interconnect reaching it —
@@ -182,6 +244,8 @@ func New(opts ...Option) (*Device, error) {
 		sms:       st.sms,
 		workers:   st.workers,
 		partition: st.partition,
+		autoPart:  st.autoPart,
+		cache:     st.cache,
 		sem:       make(chan struct{}, st.workers),
 	}
 	if st.l2 != nil || st.noc != nil {
@@ -201,6 +265,8 @@ func New(opts ...Option) (*Device, error) {
 			return nil, fmt.Errorf("device: %w", err)
 		}
 	}
+	d.cfgFP = d.cfg.Fingerprint()
+	d.memsysFP = d.memsysFingerprint()
 	return d, nil
 }
 
@@ -233,15 +299,23 @@ func (d *Device) release() { <-d.sem }
 // image unchanged, while the unpartitioned path may have partially
 // mutated it just as sm.Run would.
 func (d *Device) Run(ctx context.Context, l *exec.Launch) (*sm.Result, error) {
+	return d.run(ctx, l, d.partition)
+}
+
+// run is Run with the wave-partitioning decision made explicit, so
+// RunSuite can route individual heavy entries through the partitioned
+// engine (WithAutoPartition) while light entries keep the whole-grid
+// path.
+func (d *Device) run(ctx context.Context, l *exec.Launch, partition bool) (*sm.Result, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
 	wave := sm.ResidentCTAs(d.cfg, l)
 	var waves [][2]int
-	if d.partition {
+	if partition {
 		waves = exec.PartitionWaves(l.GridDim, wave)
 	}
-	if !d.partition || wave <= 0 || len(waves) <= 1 {
+	if !partition || wave <= 0 || len(waves) <= 1 {
 		// Unpartitioned launch, a grid that fits in a single wave, or an
 		// over-subscribed block the SM will reject with its precise
 		// error: run whole on one SM over the live image, cycle-exact
@@ -290,10 +364,8 @@ func (d *Device) Run(ctx context.Context, l *exec.Launch) (*sm.Result, error) {
 				return
 			}
 			defer d.release()
-			wl := *l
-			wl.Global = make([]byte, len(base))
-			copy(wl.Global, base)
-			res, err := sm.RunRangeOpts(ctx, d.cfg, &wl, start, end,
+			wl := l.CloneWithGlobal(base)
+			res, err := sm.RunRangeOpts(ctx, d.cfg, wl, start, end,
 				sm.RunOpts{RecordMemTrace: d.memsys})
 			if err != nil {
 				runs[i].err = err
@@ -359,23 +431,70 @@ type SuiteResult struct {
 // Name returns the benchmark name.
 func (r *SuiteResult) Name() string { return r.Bench.Name }
 
-// RunSuite simulates every benchmark on the device concurrently
-// (bounded by the worker pool) and validates each final memory image
-// against the benchmark's Go reference oracle — an oracle mismatch is
-// reported in that entry's Err, never a silent wrong number. Results
-// are returned in input order regardless of completion order. The
-// returned error is non-nil only for whole-batch failures (context
-// cancellation); per-benchmark failures live in the entries.
+// RunSuite simulates every benchmark on the device concurrently and
+// validates each final memory image against the benchmark's Go
+// reference oracle — an oracle mismatch is reported in that entry's
+// Err, never a silent wrong number. Results are returned in input
+// order regardless of completion order, and are bit-identical for
+// every worker and SM count. The returned error is non-nil only for
+// whole-batch failures (context cancellation); per-benchmark failures
+// live in the entries.
+//
+// Dispatch is cost-aware longest-job-first: entries are handed to the
+// worker pool in descending order of estimated simulation cost
+// (measured modeled cycles once a cell has run in this process, a
+// static estimate before), so a batch is no longer tail-bound by a
+// heavy kernel that a naive schedule starts last. Dispatch order can
+// never change results — only which worker simulates what, when.
+//
+// With WithAutoPartition, heavy entries additionally run as parallel
+// CTA waves (see the option's comment); with WithSimCache, entries are
+// memoized across passes and devices.
 func (d *Device) RunSuite(ctx context.Context, suite []*kernels.Benchmark) ([]*SuiteResult, error) {
 	results := make([]*SuiteResult, len(suite))
-	var wg sync.WaitGroup
 	for i, b := range suite {
 		results[i] = &SuiteResult{Bench: b}
+	}
+	partitioned := d.partitionPlan(suite)
+
+	// Longest-job-first order: descending estimated cost, input order
+	// on ties. The sort is deterministic; correctness never depends on
+	// it (each entry is independent and lands at its input index).
+	order := make([]int, len(suite))
+	for i := range order {
+		order[i] = i
+	}
+	cost := make([]int64, len(suite))
+	for i, b := range suite {
+		cost[i] = estimatedCost(b, d.cfgFP)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cost[order[a]] > cost[order[b]]
+	})
+
+	workers := d.workers
+	if workers > len(suite) {
+		workers = len(suite)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(r *SuiteResult) {
+		go func() {
 			defer wg.Done()
-			r.Result, r.Err = d.runBenchmark(ctx, r.Bench)
-		}(results[i])
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(order) {
+					return
+				}
+				r := results[order[n]]
+				if err := ctx.Err(); err != nil {
+					r.Err = err
+					continue
+				}
+				r.Result, r.Err = d.runSuiteEntry(ctx, r.Bench, partitioned[order[n]])
+			}
+		}()
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -384,20 +503,67 @@ func (d *Device) RunSuite(ctx context.Context, suite []*kernels.Benchmark) ([]*S
 	return results, nil
 }
 
+// partitionPlan decides, per suite entry, whether it runs through the
+// wave-partitioned engine. With WithGridPartition everything does;
+// with WithAutoPartition exactly the heavy tail does: entries whose
+// static cost estimate exceeds the batch mean and whose grid spans at
+// least two CTA waves. The plan reads only static batch properties —
+// never worker or SM counts, never measured timings — so identical
+// batches partition identically on every host, pass and parallelism
+// setting.
+func (d *Device) partitionPlan(suite []*kernels.Benchmark) []bool {
+	plan := make([]bool, len(suite))
+	if d.partition {
+		for i := range plan {
+			plan[i] = true
+		}
+		return plan
+	}
+	if !d.autoPart || len(suite) == 0 {
+		return plan
+	}
+	var total int64
+	for _, b := range suite {
+		total += staticCost(b)
+	}
+	mean := total / int64(len(suite))
+	for i, b := range suite {
+		if staticCost(b) <= mean {
+			continue
+		}
+		wave := sm.ResidentCTAs(d.cfg, &exec.Launch{BlockDim: b.Block})
+		plan[i] = wave > 0 && b.Grid > wave
+	}
+	return plan
+}
+
+// runSuiteEntry runs one suite entry through the cache (when attached)
+// and records its measured cost for future scheduling.
+func (d *Device) runSuiteEntry(ctx context.Context, b *kernels.Benchmark, partition bool) (*sm.Result, error) {
+	if d.cache == nil {
+		return d.runBenchmark(ctx, b, partition)
+	}
+	return d.cache.getOrRun(ctx, d.simKeyFor(b, partition), func() (*sm.Result, error) {
+		return d.runBenchmark(ctx, b, partition)
+	})
+}
+
 // runBenchmark builds the benchmark's launch for the device's
-// architecture, runs it, and checks the oracle.
-func (d *Device) runBenchmark(ctx context.Context, b *kernels.Benchmark) (*sm.Result, error) {
+// architecture, runs it (partitioned into CTA waves when asked), and
+// checks the oracle.
+func (d *Device) runBenchmark(ctx context.Context, b *kernels.Benchmark, partition bool) (*sm.Result, error) {
 	l, err := b.NewLaunch(d.cfg.Arch != sm.ArchBaseline)
 	if err != nil {
 		return nil, err
 	}
-	res, err := d.Run(ctx, l)
+	res, err := d.run(ctx, l, partition)
 	if err != nil {
 		return nil, fmt.Errorf("device: %s on %s: %w", b.Name, d.cfg.Arch, err)
 	}
 	if !bytes.Equal(l.Global, b.Expected()) {
 		return nil, fmt.Errorf("device: %s on %s: simulation diverged from reference", b.Name, d.cfg.Arch)
 	}
+	recordCost(b, d.cfgFP, res)
 	return res, nil
 }
 

@@ -288,3 +288,13 @@ func (l *Launch) CloneGlobal() *Launch {
 	copy(c.Global, l.Global)
 	return &c
 }
+
+// CloneWithGlobal returns a copy of the launch whose global memory is
+// a fresh copy of img (the shared pre-launch snapshot every partitioned
+// CTA wave starts from). img must have the launch's global size.
+func (l *Launch) CloneWithGlobal(img []byte) *Launch {
+	c := *l
+	c.Global = make([]byte, len(img))
+	copy(c.Global, img)
+	return &c
+}

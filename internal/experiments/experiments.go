@@ -23,12 +23,20 @@ import (
 // figures share configurations). Simulation and oracle validation are
 // delegated to the device engine: each figure prefetches its whole
 // (benchmark, configuration) request set through Device.RunSuite, so
-// the simulations fan out across the host's cores instead of running
-// serially; table assembly then reads from the cache. The runner is
-// safe for concurrent use.
+// the simulations fan out across the host's cores (cost-aware,
+// longest-job-first) instead of running serially; table assembly then
+// reads from the cache. Both cache layers — the runner's per-cell
+// Stats table and the device-level simulation cache shared across all
+// the runner's figures — key on sm.Config.Fingerprint, which digests
+// every configuration field, so two different configurations can never
+// alias a cell. The runner is safe for concurrent use.
 type Runner struct {
 	mu    sync.Mutex
 	cache map[runKey]*sm.Stats
+
+	// sims is the device-level simulation cache shared by every device
+	// the runner builds, deduplicating cells across figures and passes.
+	sims *device.SimCache
 
 	// Workers bounds the host goroutines simulating concurrently;
 	// 0 means GOMAXPROCS.
@@ -38,31 +46,24 @@ type Runner struct {
 	Progress io.Writer
 }
 
+// runKey identifies one (benchmark, configuration) cell. The
+// fingerprint covers the whole configuration, making the key sound for
+// any future Config field.
 type runKey struct {
-	bench       string
-	arch        sm.Arch
-	constraints bool
-	shuffle     string
-	assoc       int
-	memSplit    bool
-	depMode     uint8
+	bench string
+	cfgFP uint64
 }
 
 func configKey(bench string, cfg *sm.Config) runKey {
-	return runKey{
-		bench:       bench,
-		arch:        cfg.Arch,
-		constraints: cfg.Constraints,
-		shuffle:     cfg.Shuffle.String(),
-		assoc:       cfg.Assoc,
-		memSplit:    cfg.SplitOnMemDivergence,
-		depMode:     uint8(cfg.DepMode),
-	}
+	return runKey{bench: bench, cfgFP: cfg.Fingerprint()}
 }
 
 // NewRunner creates an empty runner.
 func NewRunner() *Runner {
-	return &Runner{cache: make(map[runKey]*sm.Stats)}
+	return &Runner{
+		cache: make(map[runKey]*sm.Stats),
+		sims:  device.NewSimCache(),
+	}
 }
 
 // Request names one simulation a figure needs: a benchmark under a
@@ -110,7 +111,8 @@ func (r *Runner) Prefetch(ctx context.Context, reqs []Request) error {
 	r.mu.Unlock()
 
 	for _, g := range groups {
-		dev, err := device.New(device.WithConfig(g.cfg), device.WithWorkers(r.Workers))
+		dev, err := device.New(device.WithConfig(g.cfg), device.WithWorkers(r.Workers),
+			device.WithSimCache(r.sims))
 		if err != nil {
 			return fmt.Errorf("experiments: %w", err)
 		}

@@ -46,7 +46,7 @@ func (r *Runner) MemoryHierarchy() (*Table, error) {
 		}
 		row := Row{Name: name}
 
-		flat, err := memsysRun(b, sms, nil)
+		flat, err := r.memsysRun(b, sms, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -56,7 +56,7 @@ func (r *Runner) MemoryHierarchy() (*Table, error) {
 		for _, bw := range memsysBandwidths {
 			ncfg := noc.Default()
 			ncfg.BytesPerCycle = bw
-			res, err := memsysRun(b, sms, &ncfg)
+			res, err := r.memsysRun(b, sms, &ncfg)
 			if err != nil {
 				return nil, err
 			}
@@ -75,12 +75,16 @@ func (r *Runner) MemoryHierarchy() (*Table, error) {
 }
 
 // memsysRun simulates one benchmark partitioned across the SMs, with
-// the shared memory system enabled when ncfg is non-nil.
-func memsysRun(b *kernels.Benchmark, sms int, ncfg *noc.Config) (*sm.Result, error) {
+// the shared memory system enabled when ncfg is non-nil. Runs go
+// through RunSuite so the runner's simulation cache memoizes each
+// (benchmark, SM count, interconnect) cell across passes.
+func (r *Runner) memsysRun(b *kernels.Benchmark, sms int, ncfg *noc.Config) (*sm.Result, error) {
 	opts := []device.Option{
 		device.WithArch(sm.ArchSBISWI),
 		device.WithSMs(sms),
 		device.WithGridPartition(true),
+		device.WithWorkers(r.Workers),
+		device.WithSimCache(r.sims),
 	}
 	if ncfg != nil {
 		opts = append(opts, device.WithInterconnect(*ncfg))
@@ -89,13 +93,12 @@ func memsysRun(b *kernels.Benchmark, sms int, ncfg *noc.Config) (*sm.Result, err
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	l, err := b.NewLaunch(true)
-	if err != nil {
-		return nil, err
-	}
-	res, err := dev.Run(context.Background(), l)
+	results, err := dev.RunSuite(context.Background(), []*kernels.Benchmark{b})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
 	}
-	return res, nil
+	if results[0].Err != nil {
+		return nil, fmt.Errorf("experiments: %w", results[0].Err)
+	}
+	return results[0].Result, nil
 }

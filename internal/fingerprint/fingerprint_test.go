@@ -1,0 +1,90 @@
+package fingerprint
+
+import (
+	"reflect"
+	"testing"
+)
+
+type inner struct {
+	F float64
+	S string
+}
+
+type sample struct {
+	A int
+	B bool
+	C uint8
+	D inner
+	E [2]int
+	L []string
+}
+
+func base() sample {
+	return sample{A: 1, B: true, C: 2, D: inner{F: 3.5, S: "x"}, E: [2]int{4, 5}, L: []string{"a", "b"}}
+}
+
+func TestEveryLeafMovesTheHash(t *testing.T) {
+	ref := Hash(base())
+	muts := []func(*sample){
+		func(s *sample) { s.A++ },
+		func(s *sample) { s.B = !s.B },
+		func(s *sample) { s.C++ },
+		func(s *sample) { s.D.F += 0.25 },
+		func(s *sample) { s.D.S = "y" },
+		func(s *sample) { s.E[0]++ },
+		func(s *sample) { s.E[1]++ },
+		func(s *sample) { s.L[1] = "c" },
+		func(s *sample) { s.L = append(s.L, "d") },
+	}
+	for i, m := range muts {
+		s := base()
+		s.L = append([]string(nil), s.L...)
+		m(&s)
+		if Hash(s) == ref {
+			t.Errorf("mutation %d did not change the hash", i)
+		}
+	}
+}
+
+func TestStableAndOrderSensitive(t *testing.T) {
+	if Hash(base()) != Hash(base()) {
+		t.Error("hash is not deterministic")
+	}
+	// Adjacent same-typed fields must not alias under swapped values.
+	type pair struct{ X, Y int }
+	if Hash(pair{1, 2}) == Hash(pair{2, 1}) {
+		t.Error("swapped field values alias")
+	}
+	if Hash(1, 2) == Hash(2, 1) {
+		t.Error("swapped arguments alias")
+	}
+}
+
+func TestZeroValuesDistinct(t *testing.T) {
+	// A zero struct still digests its shape: zero values of different
+	// types must not collide with the empty hash chain.
+	if Hash(sample{}) == Hash() {
+		t.Error("zero sample aliases the empty hash")
+	}
+	if Hash(inner{}) == Hash(sample{}) {
+		t.Error("different zero structs alias")
+	}
+}
+
+func TestUnsupportedKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("pointer field must panic, not silently alias")
+		}
+	}()
+	type bad struct{ P *int }
+	Hash(bad{})
+}
+
+func TestReflectionCoversSampleFields(t *testing.T) {
+	// Meta-check: the mutation list above covers every leaf of sample,
+	// so a new field added to sample without a mutation shows up here.
+	if got, want := reflect.TypeOf(sample{}).NumField(), 6; got != want {
+		t.Errorf("sample has %d fields, test mutations cover %d — extend TestEveryLeafMovesTheHash", got, want)
+	}
+}

@@ -16,6 +16,7 @@ package sm
 import (
 	"fmt"
 
+	"repro/internal/fingerprint"
 	"repro/internal/mem"
 	"repro/internal/sched"
 )
@@ -204,6 +205,19 @@ func Configure(a Arch) Config {
 		c.Shuffle = sched.ShuffleXorRev
 	}
 	return c
+}
+
+// Fingerprint returns a stable digest of every configuration field.
+// Equal fingerprints imply identical simulation behavior for identical
+// launches — the soundness the device layer's simulation cache keys
+// on. The digest is reflection-exhaustive: a field added to Config
+// changes fingerprints automatically instead of silently aliasing
+// cache entries. It deliberately includes fields that cannot change
+// Stats (ReferenceLoop is equivalence-tested, TraceCap only bounds the
+// recorded trace): including them costs at most a cache miss, while
+// excluding a result-bearing field would poison the cache.
+func (c *Config) Fingerprint() uint64 {
+	return fingerprint.Hash(*c)
 }
 
 // usesHeap reports whether the architecture reconverges via the

@@ -1,0 +1,84 @@
+package sm
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFingerprintCoversEveryField walks Config reflectively, perturbs
+// each leaf field of a table-2 configuration in turn, and asserts the
+// fingerprint moves. This is the cache-key soundness guarantee: a
+// future Config field that could change simulation results cannot be
+// added without the fingerprint picking it up (the reflection walk
+// inside Fingerprint sees it automatically, and this test documents
+// the contract).
+func TestFingerprintCoversEveryField(t *testing.T) {
+	base := Configure(ArchSBISWI)
+	ref := base.Fingerprint()
+	n := perturbLeaves(t, reflect.ValueOf(&base).Elem(), "Config", func(path string) {
+		if got := base.Fingerprint(); got == ref {
+			t.Errorf("perturbing %s did not change the fingerprint", path)
+		}
+	})
+	if n < 20 {
+		t.Fatalf("only %d leaves perturbed — reflection walk is broken", n)
+	}
+}
+
+// perturbLeaves visits every settable leaf of v, applies a minimal
+// perturbation, invokes check, and restores the original value.
+func perturbLeaves(t *testing.T, v reflect.Value, path string, check func(string)) int {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Struct:
+		n := 0
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Type().Field(i)
+			n += perturbLeaves(t, v.Field(i), path+"."+f.Name, check)
+		}
+		return n
+	case reflect.Bool:
+		old := v.Bool()
+		v.SetBool(!old)
+		check(path)
+		v.SetBool(old)
+		return 1
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		old := v.Int()
+		v.SetInt(old + 1)
+		check(path)
+		v.SetInt(old)
+		return 1
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		old := v.Uint()
+		v.SetUint(old + 1)
+		check(path)
+		v.SetUint(old)
+		return 1
+	case reflect.Float32, reflect.Float64:
+		old := v.Float()
+		v.SetFloat(old + 1)
+		check(path)
+		v.SetFloat(old)
+		return 1
+	default:
+		t.Fatalf("%s: unhandled kind %s — extend the fingerprint test (and check fingerprint.Hash supports it)", path, v.Kind())
+		return 0
+	}
+}
+
+func TestFingerprintDistinguishesArchitectures(t *testing.T) {
+	seen := map[uint64]Arch{}
+	for _, a := range Architectures() {
+		cfg := Configure(a)
+		fp := cfg.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s and %s share a fingerprint", prev, a)
+		}
+		seen[fp] = a
+	}
+	cfg := Configure(ArchSBISWI)
+	if cfg.Fingerprint() != cfg.Fingerprint() {
+		t.Error("fingerprint is not deterministic")
+	}
+}

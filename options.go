@@ -60,6 +60,25 @@ func WithWorkers(n int) Option { return device.WithWorkers(n) }
 // cycle-exact with the classic single-SM Run path.
 func WithGridPartition(on bool) Option { return device.WithGridPartition(on) }
 
+// WithAutoPartition lets Device.RunSuite route heavy suite entries
+// through the wave-partitioned engine on its own: entries whose static
+// cost estimate exceeds the batch mean and whose grids span several
+// CTA waves run as parallel waves, so a batch is no longer tail-bound
+// by one dominant kernel. The decision is a pure function of the batch
+// — results stay bit-identical for every worker and SM count — but
+// auto-partitioned entries carry the partitioned timing model's
+// numbers (each wave starts on a cold SM). Off by default, which keeps
+// RunSuite statistics cycle-exact with the seed path.
+func WithAutoPartition(on bool) Option { return device.WithAutoPartition(on) }
+
+// WithSimCache attaches a simulation cache: RunSuite entries are
+// memoized by (benchmark, full configuration fingerprint,
+// partitioning, memory system, SM count) and shared across passes and
+// across every device built with the same cache. Results served from
+// the cache were oracle-validated when first computed and must be
+// treated as read-only. See NewSimCache.
+func WithSimCache(c *SimCache) Option { return device.WithSimCache(c) }
+
 // WithL2 models the shared memory system: a banked, MSHR-backed L2
 // between every SM's L1 and global memory, reached over the
 // interconnect (DefaultNoCConfig unless WithInterconnect overrides
