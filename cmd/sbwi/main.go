@@ -6,6 +6,7 @@
 //	sbwi run -kernel MatrixMul [-arch SBI+SWI] [-all] [-json]
 //	sbwi run -kernel BFS -sms 4 -partition
 //	sbwi run -kernel Transpose -sms 4 -partition -l2 [-noc-bw 8] [-noc-lat 20]
+//	sbwi run -kernel Histogram -streams 8 -workers 4
 //	sbwi run -file kernel.asm -grid 4 -block 256 -global 65536 [-param N]...
 //	sbwi disasm -kernel BFS [-tf]
 //	sbwi pipeline-demo
@@ -91,17 +92,23 @@ func (p *uintList) Set(s string) error {
 }
 
 // runReport is the -json output for one simulation. The L2/NoC
-// convenience fields summarize Stats.Mem.L2 and Stats.Mem.NoC; they
-// stay zero unless the shared memory system is modeled (-l2/-noc-bw).
+// convenience fields summarize Stats.Mem.L2 and Stats.Mem.NoC, and
+// NoCPorts carries the per-SM port breakdown (Result.NoCPorts); all of
+// them stay zero/absent unless the shared memory system is modeled
+// (-l2/-noc-bw). With -streams N, Streams reports the
+// concurrent-launch count and the stats are stream 0's (the tool
+// verifies all N are bit-identical).
 type runReport struct {
-	Kernel         string      `json:"kernel"`
-	Arch           string      `json:"arch"`
-	SMs            int         `json:"sms"`
-	IPC            float64     `json:"ipc"`
-	DeviceCycles   int64       `json:"deviceCycles"`
-	L2HitRate      float64     `json:"l2HitRate"`
-	NoCQueueCycles uint64      `json:"nocQueueCycles"`
-	Stats          *sbwi.Stats `json:"stats"`
+	Kernel         string          `json:"kernel"`
+	Arch           string          `json:"arch"`
+	SMs            int             `json:"sms"`
+	Streams        int             `json:"streams,omitempty"`
+	IPC            float64         `json:"ipc"`
+	DeviceCycles   int64           `json:"deviceCycles"`
+	L2HitRate      float64         `json:"l2HitRate"`
+	NoCQueueCycles uint64          `json:"nocQueueCycles"`
+	NoCPorts       []sbwi.NoCStats `json:"nocPorts,omitempty"`
+	Stats          *sbwi.Stats     `json:"stats"`
 }
 
 func run(args []string) error {
@@ -113,6 +120,7 @@ func run(args []string) error {
 	sms := fs.Int("sms", 1, "number of simulated SMs")
 	partition := fs.Bool("partition", false, "partition the grid across the SMs (CTA waves)")
 	workers := fs.Int("workers", 0, "host worker-pool bound (0 = GOMAXPROCS)")
+	streams := fs.Int("streams", 1, "submit the launch N times across N concurrent streams (asynchronous launch mode; stats must come out bit-identical)")
 	l2 := fs.Bool("l2", false, "model the shared L2 + interconnect behind the L1s")
 	nocBW := fs.Float64("noc-bw", 0, "interconnect port bandwidth in bytes/cycle (>0 implies -l2; 0 leaves it unset)")
 	nocLat := fs.Int64("noc-lat", -1, "interconnect traversal latency in cycles (>=0 implies -l2; -1 leaves it unset)")
@@ -149,6 +157,9 @@ func run(args []string) error {
 		return fmt.Errorf("-noc-lat %d: traversal latency must be non-negative (-1 leaves it unset)", *nocLat)
 	}
 	memsys := *l2 || *nocBW > 0 || *nocLat >= 0
+	if *streams < 1 {
+		return fmt.Errorf("-streams %d: need at least one stream", *streams)
+	}
 	var reports []runReport
 	if !*jsonOut {
 		fmt.Printf("%-10s %10s %8s %10s %10s %8s %8s\n",
@@ -175,57 +186,66 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		var l *sbwi.Launch
-		switch {
-		case *kernel != "":
-			b, ok := sbwi.BenchmarkByName(*kernel)
-			if !ok {
-				return fmt.Errorf("unknown kernel %q", *kernel)
-			}
-			if l, err = b.NewLaunch(a != sbwi.Baseline); err != nil {
-				return err
-			}
-		case *file != "":
-			src, err := os.ReadFile(*file)
-			if err != nil {
-				return err
-			}
-			prog, err := sbwi.Assemble(*file, string(src))
-			if err != nil {
-				return err
-			}
-			p := prog
-			if a != sbwi.Baseline {
-				if p, err = sbwi.ThreadFrontier(prog); err != nil {
-					return err
+		// makeLaunch builds a fresh launch per call: concurrent stream
+		// submissions must not share a mutable global image.
+		makeLaunch := func() (*sbwi.Launch, error) {
+			switch {
+			case *kernel != "":
+				b, ok := sbwi.BenchmarkByName(*kernel)
+				if !ok {
+					return nil, fmt.Errorf("unknown kernel %q", *kernel)
 				}
+				return b.NewLaunch(a != sbwi.Baseline)
+			case *file != "":
+				src, err := os.ReadFile(*file)
+				if err != nil {
+					return nil, err
+				}
+				prog, err := sbwi.Assemble(*file, string(src))
+				if err != nil {
+					return nil, err
+				}
+				p := prog
+				if a != sbwi.Baseline {
+					if p, err = sbwi.ThreadFrontier(prog); err != nil {
+						return nil, err
+					}
+				}
+				if max := len(sbwi.Launch{}.Params); len(params) > max {
+					return nil, fmt.Errorf("%d -param flags exceed the ISA's %d kernel parameters (%%p0..%%p%d)",
+						len(params), max, max-1)
+				}
+				return sbwi.NewLaunch(p, *grid, *block, make([]byte, *globalBytes), params...), nil
+			default:
+				return nil, fmt.Errorf("need -kernel or -file")
 			}
-			if max := len(sbwi.Launch{}.Params); len(params) > max {
-				return fmt.Errorf("%d -param flags exceed the ISA's %d kernel parameters (%%p0..%%p%d)",
-					len(params), max, max-1)
-			}
-			l = sbwi.NewLaunch(p, *grid, *block, make([]byte, *globalBytes), params...)
-		default:
-			return fmt.Errorf("need -kernel or -file")
 		}
-		res, err := dev.Run(context.Background(), l)
+		res, err := runStreams(dev, makeLaunch, *streams)
 		if err != nil {
 			return err
 		}
 		stats := &res.Stats
 		if *jsonOut {
-			reports = append(reports, runReport{
+			r := runReport{
 				Kernel: name, Arch: a.String(), SMs: *sms,
 				IPC: stats.IPC(), DeviceCycles: res.DeviceCycles(),
 				L2HitRate:      stats.Mem.L2.HitRate(),
 				NoCQueueCycles: stats.Mem.NoC.QueueCycles,
+				NoCPorts:       res.NoCPorts,
 				Stats:          stats,
-			})
+			}
+			if *streams > 1 {
+				r.Streams = *streams
+			}
+			reports = append(reports, r)
 			continue
 		}
 		fmt.Printf("%-10s %10d %8.2f %10d %10d %8d %8d\n",
 			a, stats.Cycles, stats.IPC(), stats.IssueSlots, stats.SecondaryIssues,
 			stats.Divergences, stats.Merges)
+		if *streams > 1 {
+			fmt.Printf("%-10s   %d concurrent streams, per-launch stats bit-identical\n", "", *streams)
+		}
 		if memsys {
 			l2s := &stats.Mem.L2
 			fmt.Printf("%-10s   l2 hits %d misses %d (%.0f%%)  noc queue %d cycles (max %d)  device cycles %d\n",
@@ -239,6 +259,47 @@ func run(args []string) error {
 		return enc.Encode(reports)
 	}
 	return nil
+}
+
+// runStreams simulates the launch: synchronously for n == 1, otherwise
+// as n concurrent single-launch streams — each with its own fresh
+// global image — verifying that every stream's statistics come out
+// bit-identical (the stream API's determinism guarantee) and returning
+// stream 0's result.
+func runStreams(dev *sbwi.Device, makeLaunch func() (*sbwi.Launch, error), n int) (*sbwi.Result, error) {
+	ctx := context.Background()
+	if n == 1 {
+		l, err := makeLaunch()
+		if err != nil {
+			return nil, err
+		}
+		return dev.Run(ctx, l)
+	}
+	pend := make([]*sbwi.Pending, n)
+	for i := range pend {
+		l, err := makeLaunch()
+		if err != nil {
+			return nil, err
+		}
+		pend[i] = dev.NewStream().Launch(ctx, l)
+	}
+	if err := dev.Synchronize(ctx); err != nil {
+		return nil, err
+	}
+	first, err := pend[0].Wait()
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		res, err := pend[i].Wait()
+		if err != nil {
+			return nil, fmt.Errorf("stream %d: %w", i, err)
+		}
+		if res.Stats != first.Stats {
+			return nil, fmt.Errorf("stream %d produced different statistics than stream 0 — determinism violation", i)
+		}
+	}
+	return first, nil
 }
 
 func disasm(args []string) error {

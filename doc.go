@@ -70,13 +70,60 @@
 // same global location with the same value) instead of letting
 // scheduling order pick a winner.
 //
+// # Streams: asynchronous launches
+//
+// Device.Run is synchronous. To pipeline independent work on one
+// device, open streams — FIFO lanes in the CUDA mold:
+//
+//	s1, s2 := dev.NewStream(), dev.NewStream()
+//	p1 := s1.Launch(ctx, a)      // enqueues, returns immediately
+//	p2 := s1.Launch(ctx, b)      // runs after a (same stream = FIFO)
+//	p3 := s2.Launch(ctx, c)      // runs concurrently with stream s1
+//	ev := s1.Record()            // marks s1's position after a, b
+//	s2.WaitEvent(ev)             // s2's later entries wait for it
+//	res, err := p2.Wait()        // Pending: future with Wait / Done
+//	err = dev.Synchronize(ctx)   // drain everything in flight
+//
+// The execution model:
+//
+//   - Launches within one stream execute in enqueue order; launches on
+//     different streams run concurrently, admitted by the
+//     device-global run queue — one bounded worker pool (WithWorkers)
+//     with a single longest-job-first cost policy shared by streams,
+//     Run calls and RunSuite batches. A RunQueue can be shared across
+//     devices (NewRunQueue + WithRunQueue) to bound their combined
+//     load; WithStreamQueueDepth bounds each stream's launch queue for
+//     producer backpressure.
+//   - Determinism: streams never change what a simulation computes.
+//     Every launch's Stats are bit-identical to the synchronous
+//     Device.Run path for any interleaving, stream count or worker
+//     count (asserted under -race by the interleaving-determinism
+//     test). Launches sharing a global memory image must be ordered by
+//     one stream or by events, exactly as concurrent Run calls would.
+//   - Failure: a failed or cancelled operation completes its Pending
+//     with the error (a cancelled launch returns the context's error)
+//     and poisons the stream — later FIFO entries fail fast with a
+//     wrapping error, errors.Is still sees context.Canceled through
+//     the wrap, and other streams are unaffected. Poison is sticky:
+//     discard the stream and open a new one.
+//
+// Migration note: Device.Run is now literally sugar for a one-launch
+// stream (NewStream().Launch(ctx, l).Wait()), so existing synchronous
+// code keeps its exact numbers and its concurrency semantics —
+// concurrent Run calls interleave with streams under the same
+// admission queue.
+//
 // # Batch scheduling and memoization
 //
-// RunSuite is cost-aware: entries dispatch longest-job-first over the
-// worker pool, weighted by measured modeled cycles once a cell has run
-// in the process (a static grid×block estimate before), so a batch's
+// RunSuite is cost-aware: entries are claimed longest-job-first,
+// weighted by measured modeled cycles once a cell has run in the
+// process (before that, a static estimate calibrated per suite
+// benchmark — measured cycles-per-thread × thread count — so even a
+// cold batch orders by realistic relative cost), and each entry
+// acquires a run-queue slot for its simulation, so a batch's
 // wall-clock is no longer bound by whichever heavy kernel a naive
-// schedule starts last. Two options extend it:
+// schedule starts last and the batch shares the pool with concurrent
+// streams. Two options extend it:
 //
 //   - WithAutoPartition(true) routes the batch's heavy tail — entries
 //     whose static cost exceeds the batch mean and whose grids span
@@ -122,10 +169,13 @@
 // Result.DeviceCycles reflects cross-SM contention — it grows as
 // interconnect ports narrow or more SMs share the L2 — while merged
 // statistics (including the Stats.Mem.L2 and Stats.Mem.NoC counters)
-// stay bit-identical for every SM and worker count. Both options are
-// off by default, which keeps default runs cycle-exact with the seed
-// reproduction; the "memory-hierarchy" experiment sweeps the port
-// bandwidth on the bandwidth-bound suite kernels.
+// stay bit-identical for every SM and worker count. Result.NoCPorts
+// additionally breaks the interconnect counters down per SM port under
+// the device-time packing (like Result.SMCycles, it legitimately
+// varies with the SM count). Both options are off by default, which
+// keeps default runs cycle-exact with the seed reproduction; the
+// "memory-hierarchy" experiment sweeps the port bandwidth on the
+// bandwidth-bound suite kernels and reports the per-SM queueing skew.
 //
 // # Simulation speed
 //

@@ -1,0 +1,79 @@
+package device
+
+import "repro/internal/kernels"
+
+// The per-benchmark cost calibration table behind the cold-start
+// static estimate.
+//
+// The batch scheduler's longest-job-first policy only helps if the
+// cost estimates rank entries correctly, and raw thread count
+// (grid×block) ranks the paper suite badly: Histogram simulates ~74
+// modeled cycles per thread while Transpose takes ~1.2, a 60× spread
+// the old grid×block estimate was blind to — a cold batch would admit
+// six Transpose-sized kernels ahead of the Histogram that actually
+// dominates the wall-clock. The table below fixes the cold ordering
+// with one measured cycles-per-thread weight per suite benchmark.
+//
+// The weights were measured as Stats.Cycles / (grid·block) on the
+// default SBI+SWI table-2 configuration (the relative ranking is what
+// matters, and it is stable across the modeled architectures). To
+// regenerate after adding a benchmark or changing the timing model,
+// run the suite and print the ratios:
+//
+//	dev, _ := device.New(device.WithArch(sm.ArchSBISWI))
+//	results, _ := dev.RunSuite(context.Background(), kernels.All())
+//	for _, r := range results {
+//		b := r.Bench
+//		fmt.Printf("%q: %.4f,\n", b.Name,
+//			float64(r.Result.Stats.Cycles)/float64(b.Grid*b.Block))
+//	}
+//
+// (TestCalibrationCoversSuite fails when a suite benchmark is missing
+// from the table, so new benchmarks cannot silently fall back.)
+//
+// Calibration only ever steers admission order and the auto-partition
+// heavy-tail routing — both pure functions of the batch — so a stale
+// weight degrades scheduling, never results. Once a cell has run in
+// this process its measured cycles replace the estimate entirely
+// (estimatedCost in simcache.go).
+var calibratedCyclesPerThread = map[string]float64{
+	"3DFD":                 0.8436,
+	"BFS":                  4.7573,
+	"Backprop":             8.2184,
+	"BinomialOptions":      4.9614,
+	"BlackScholes":         1.2764,
+	"ConvolutionSeparable": 2.9762,
+	"DWTHaar1D":            13.2051,
+	"Eigenvalues":          7.1709,
+	"FastWalshTransform":   1.7617,
+	"Histogram":            74.0365,
+	"Hotspot":              1.2251,
+	"LUD":                  3.5801,
+	"Mandelbrot":           9.1230,
+	"MatrixMul":            7.0488,
+	"MonteCarlo":           7.8034,
+	"Needleman-Wunsch":     116.9792,
+	"SRAD":                 2.5237,
+	"SortingNetworks":      9.1895,
+	"TMD1":                 11.4116,
+	"TMD2":                 5.3486,
+	"Transpose":            1.2045,
+}
+
+// staticCost is the pre-measurement cost estimate: the launch's thread
+// count scaled by the benchmark's calibrated cycles-per-thread weight.
+// Unknown benchmarks (user-defined suites) fall back to weight 1 —
+// plain thread count, the pre-calibration behavior. Deliberately a
+// pure function of the benchmark: the estimate feeds scheduling and
+// the auto-partition plan, both of which must be host- and
+// pass-independent.
+func staticCost(b *kernels.Benchmark) int64 {
+	threads := int64(b.Grid) * int64(b.Block)
+	if w, ok := calibratedCyclesPerThread[b.Name]; ok {
+		c := int64(float64(threads) * w)
+		if c > 0 {
+			return c
+		}
+	}
+	return threads
+}

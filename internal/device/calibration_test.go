@@ -1,0 +1,60 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// TestCalibrationCoversSuite keeps the cost table honest: every suite
+// benchmark must have a positive calibrated weight (a new benchmark
+// added without calibrating would silently fall back to raw thread
+// count), and the table must not accumulate entries for benchmarks
+// that no longer exist.
+func TestCalibrationCoversSuite(t *testing.T) {
+	names := make(map[string]bool)
+	for _, b := range kernels.All() {
+		names[b.Name] = true
+		w, ok := calibratedCyclesPerThread[b.Name]
+		if !ok {
+			t.Errorf("%s: missing from the calibration table — regenerate it (see calibration.go)", b.Name)
+			continue
+		}
+		if w <= 0 {
+			t.Errorf("%s: non-positive calibrated weight %g", b.Name, w)
+		}
+	}
+	for name := range calibratedCyclesPerThread {
+		if !names[name] {
+			t.Errorf("%s: calibrated but not in the suite — stale table entry", name)
+		}
+	}
+}
+
+// TestCalibratedCostOrdersTheTail pins the estimate quality the table
+// buys: Histogram runs ~74 modeled cycles per thread and dominates the
+// suite wall-clock despite launching fewer threads than Transpose
+// (~1.2 cycles/thread) — raw grid×block ordered them backwards, the
+// calibrated estimate must not.
+func TestCalibratedCostOrdersTheTail(t *testing.T) {
+	hist, ok := kernels.ByName("Histogram")
+	if !ok {
+		t.Fatal("Histogram missing")
+	}
+	tr, ok := kernels.ByName("Transpose")
+	if !ok {
+		t.Fatal("Transpose missing")
+	}
+	if hist.Grid*hist.Block >= tr.Grid*tr.Block {
+		t.Fatal("test premise broken: Histogram should launch fewer threads than Transpose")
+	}
+	if staticCost(hist) <= staticCost(tr) {
+		t.Errorf("staticCost(Histogram) = %d <= staticCost(Transpose) = %d — calibration lost the true ordering",
+			staticCost(hist), staticCost(tr))
+	}
+	// Unknown benchmarks fall back to plain thread count.
+	custom := &kernels.Benchmark{Name: "NotInTable", Grid: 3, Block: 64}
+	if got, want := staticCost(custom), int64(3*64); got != want {
+		t.Errorf("uncalibrated staticCost = %d, want thread count %d", got, want)
+	}
+}

@@ -1,7 +1,23 @@
 // Package device implements the device-level simulation engine: a GPU
 // of N independent streaming multiprocessors fed from one CTA queue,
-// plus a batch runner that executes whole benchmark suites concurrently
-// on a bounded worker pool.
+// an asynchronous stream/event launch API, and a batch runner that
+// executes whole benchmark suites concurrently on a bounded worker
+// pool.
+//
+// # Admission: the device-global run queue
+//
+// Everything the device simulates is admitted by one RunQueue — a
+// counting semaphore granting slots longest-job-first (see queue.go).
+// Device.Run, stream launches (stream.go), RunSuite entries and the
+// CTA waves of partitioned grids all acquire a slot there for the
+// duration of their SM simulation, so interactive streams and batch
+// suites share a single fairness/cost policy and one host-parallelism
+// bound. Run itself is sugar for a one-launch stream:
+//
+//	func (d *Device) Run(ctx, l) { return d.NewStream().Launch(ctx, l).Wait() }
+//
+// The queue decides only when a simulation starts — never what it
+// computes — so every result stays bit-identical to a serial run.
 //
 // # Execution model
 //
@@ -32,12 +48,14 @@
 //
 // # Batch scheduling and memoization
 //
-// RunSuite dispatches its entries longest-job-first over the worker
-// pool, weighting each entry by its memoized measured cost (modeled
-// cycles from an earlier run in this process) or a static estimate
-// before one exists — so a batch's wall-clock approaches
-// max(heaviest entry, total/workers) instead of being tail-bound by
-// whichever heavy kernel a naive schedule dispatched last. With
+// RunSuite claims its entries longest-job-first, weighting each by its
+// memoized measured cost (modeled cycles from an earlier run in this
+// process) or the calibrated static estimate before one exists (see
+// calibration.go), and every entry acquires a run-queue slot for its
+// simulation — keeping a batch's wall-clock near max(heaviest entry,
+// total/workers) instead of tail-bound by whichever heavy kernel a
+// naive schedule dispatched last, while the batch shares the pool
+// with concurrent streams. With
 // WithAutoPartition the heavy tail itself is decomposed: entries whose
 // static cost exceeds the batch mean and whose grids span several CTA
 // waves run through the partitioned engine, so even a single dominant
@@ -93,7 +111,18 @@ type Device struct {
 	workers   int
 	partition bool
 	autoPart  bool
-	sem       chan struct{}
+
+	// queue admits every simulation the device performs (see queue.go);
+	// it is private unless WithRunQueue shared one across devices.
+	queue *RunQueue
+
+	// streamDepth, when positive, bounds each stream's
+	// enqueued-but-incomplete launches (WithStreamQueueDepth).
+	streamDepth int
+
+	// inflight tracks outstanding asynchronous operations for
+	// Synchronize.
+	inflight inflight
 
 	// cache, when non-nil, memoizes oracle-validated RunSuite entries
 	// across passes and devices (WithSimCache).
@@ -117,16 +146,18 @@ type Option func(*settings)
 
 // settings is the mutable bag New threads through the options.
 type settings struct {
-	arch      sm.Arch
-	base      *sm.Config // explicit full config (WithConfig) overrides arch
-	modifier  []func(*sm.Config)
-	sms       int
-	workers   int
-	partition bool
-	autoPart  bool
-	cache     *SimCache
-	l2        *mem.L2Config
-	noc       *noc.Config
+	arch        sm.Arch
+	base        *sm.Config // explicit full config (WithConfig) overrides arch
+	modifier    []func(*sm.Config)
+	sms         int
+	workers     int
+	partition   bool
+	autoPart    bool
+	cache       *SimCache
+	l2          *mem.L2Config
+	noc         *noc.Config
+	queue       *RunQueue
+	streamDepth int
 }
 
 // WithArch selects the modeled micro-architecture (default SBI+SWI) and
@@ -150,10 +181,31 @@ func WithSMs(n int) Option {
 }
 
 // WithWorkers bounds the host goroutines simulating concurrently across
-// everything the device runs (waves and suite entries alike). Default:
-// GOMAXPROCS. Worker count never changes results.
+// everything the device runs (stream launches, waves and suite entries
+// alike). Default: GOMAXPROCS. Worker count never changes results.
+// Ignored when WithRunQueue shares a queue — the queue's slot count is
+// the bound then.
 func WithWorkers(n int) Option {
 	return func(s *settings) { s.workers = n }
+}
+
+// WithRunQueue makes the device admit its simulations through a shared
+// queue instead of a private one, so several devices' combined load —
+// streams and suites alike — stays bounded by one worker pool under
+// one longest-job-first policy. The experiments runner shares one
+// queue across every device it builds. Grant order never changes
+// results; a nil queue keeps the default private queue.
+func WithRunQueue(q *RunQueue) Option {
+	return func(s *settings) { s.queue = q }
+}
+
+// WithStreamQueueDepth bounds how many enqueued-but-incomplete
+// launches each stream of the device may hold: Stream.Launch blocks
+// once its stream is n launches deep, giving producers backpressure
+// instead of an unbounded queue. 0 (the default) means unbounded;
+// negative is rejected by New.
+func WithStreamQueueDepth(n int) Option {
+	return func(s *settings) { s.streamDepth = n }
 }
 
 // WithGridPartition enables intra-launch parallelism: the grid is split
@@ -236,17 +288,25 @@ func New(opts ...Option) (*Device, error) {
 	if st.sms <= 0 {
 		return nil, fmt.Errorf("device: SM count %d must be positive", st.sms)
 	}
+	if st.streamDepth < 0 {
+		return nil, fmt.Errorf("device: stream queue depth %d must be non-negative (0 = unbounded)", st.streamDepth)
+	}
 	if st.workers <= 0 {
 		st.workers = runtime.GOMAXPROCS(0)
 	}
+	queue := st.queue
+	if queue == nil {
+		queue = NewRunQueue(st.workers)
+	}
 	d := &Device{
-		cfg:       cfg,
-		sms:       st.sms,
-		workers:   st.workers,
-		partition: st.partition,
-		autoPart:  st.autoPart,
-		cache:     st.cache,
-		sem:       make(chan struct{}, st.workers),
+		cfg:         cfg,
+		sms:         st.sms,
+		workers:     queue.Workers(),
+		partition:   st.partition,
+		autoPart:    st.autoPart,
+		cache:       st.cache,
+		queue:       queue,
+		streamDepth: st.streamDepth,
 	}
 	if st.l2 != nil || st.noc != nil {
 		d.memsys = true
@@ -276,37 +336,31 @@ func (d *Device) Config() sm.Config { return d.cfg }
 // SMs returns the configured SM count.
 func (d *Device) SMs() int { return d.sms }
 
-// Workers returns the host worker-pool bound.
+// Workers returns the host worker-pool bound: the device's run-queue
+// slot count.
 func (d *Device) Workers() int { return d.workers }
-
-// acquire blocks until a worker slot is free or ctx is done.
-func (d *Device) acquire(ctx context.Context) error {
-	select {
-	case d.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-func (d *Device) release() { <-d.sem }
 
 // Run simulates the launch to completion on the device and returns the
 // result (merged across CTA waves when grid partitioning is enabled).
-// Global memory is mutated in place, exactly like sm.Run. The context
-// cancels the simulation promptly (the SM model polls it about every
-// 1k cycles); a cancelled partitioned run leaves the launch's memory
-// image unchanged, while the unpartitioned path may have partially
-// mutated it just as sm.Run would.
+// It is sugar for a one-launch stream — enqueue, then wait — so
+// concurrent Run calls interleave with streams and suites under the
+// run queue's single admission policy. Global memory is mutated in
+// place, exactly like sm.Run. The context cancels the simulation
+// promptly (the SM model polls it about every 1k cycles); a cancelled
+// partitioned run leaves the launch's memory image unchanged, while
+// the unpartitioned path may have partially mutated it just as sm.Run
+// would.
 func (d *Device) Run(ctx context.Context, l *exec.Launch) (*sm.Result, error) {
-	return d.run(ctx, l, d.partition)
+	return d.NewStream().Launch(ctx, l).Wait()
 }
 
-// run is Run with the wave-partitioning decision made explicit, so
-// RunSuite can route individual heavy entries through the partitioned
-// engine (WithAutoPartition) while light entries keep the whole-grid
-// path.
-func (d *Device) run(ctx context.Context, l *exec.Launch, partition bool) (*sm.Result, error) {
+// run simulates one launch with the wave-partitioning decision made
+// explicit (RunSuite routes heavy entries through the partitioned
+// engine under WithAutoPartition while light entries keep the
+// whole-grid path) and the admission cost chosen by the caller: raw
+// thread count for ad-hoc launches, measured-or-calibrated estimates
+// for suite entries.
+func (d *Device) run(ctx context.Context, l *exec.Launch, partition bool, cost int64) (*sm.Result, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
@@ -322,10 +376,10 @@ func (d *Device) run(ctx context.Context, l *exec.Launch, partition bool) (*sm.R
 		// with the classic one-SM path. With the memory system modeled,
 		// the single SM's L1 talks to the L2 through its NoC port
 		// inline — one goroutine, so timing stays deterministic.
-		if err := d.acquire(ctx); err != nil {
+		if err := d.queue.acquire(ctx, cost); err != nil {
 			return nil, err
 		}
-		defer d.release()
+		defer d.queue.release()
 		if !d.memsys {
 			return sm.RunRange(ctx, d.cfg, l, 0, l.GridDim)
 		}
@@ -339,6 +393,7 @@ func (d *Device) run(ctx context.Context, l *exec.Launch, partition bool) (*sm.R
 		}
 		res.Stats.Mem.L2 = l2.Stats
 		res.Stats.Mem.NoC = xbar.Stats()
+		res.NoCPorts = []noc.Stats{xbar.PortStats(0)}
 		return res, nil
 	}
 
@@ -359,11 +414,14 @@ func (d *Device) run(ctx context.Context, l *exec.Launch, partition bool) (*sm.R
 		wg.Add(1)
 		go func(i int, start, end int) {
 			defer wg.Done()
-			if err := d.acquire(ctx); err != nil {
+			// Each wave competes in the run queue at its share of the
+			// launch's admission cost.
+			waveCost := cost * int64(end-start) / int64(l.GridDim)
+			if err := d.queue.acquire(ctx, waveCost); err != nil {
 				runs[i].err = err
 				return
 			}
-			defer d.release()
+			defer d.queue.release()
 			wl := l.CloneWithGlobal(base)
 			res, err := sm.RunRangeOpts(ctx, d.cfg, wl, start, end,
 				sm.RunOpts{RecordMemTrace: d.memsys})
@@ -440,12 +498,15 @@ func (r *SuiteResult) Name() string { return r.Bench.Name }
 // whole-batch failures (context cancellation); per-benchmark failures
 // live in the entries.
 //
-// Dispatch is cost-aware longest-job-first: entries are handed to the
-// worker pool in descending order of estimated simulation cost
-// (measured modeled cycles once a cell has run in this process, a
-// static estimate before), so a batch is no longer tail-bound by a
-// heavy kernel that a naive schedule starts last. Dispatch order can
-// never change results — only which worker simulates what, when.
+// Dispatch is cost-aware longest-job-first: entries are claimed by the
+// batch's puller goroutines in descending order of estimated
+// simulation cost (measured modeled cycles once a cell has run in this
+// process, the calibrated static estimate before — the sort is stable,
+// so a cold batch dispatches deterministically), and every entry then
+// acquires a device-global run-queue slot for its simulation, so suite
+// batches share the worker pool — and the queue's cost policy — with
+// any streams running on the device. Dispatch order can never change
+// results — only which worker simulates what, when.
 //
 // With WithAutoPartition, heavy entries additionally run as parallel
 // CTA waves (see the option's comment); with WithSimCache, entries are
@@ -457,9 +518,12 @@ func (d *Device) RunSuite(ctx context.Context, suite []*kernels.Benchmark) ([]*S
 	}
 	partitioned := d.partitionPlan(suite)
 
-	// Longest-job-first order: descending estimated cost, input order
-	// on ties. The sort is deterministic; correctness never depends on
-	// it (each entry is independent and lands at its input index).
+	// Longest-job-first claim order: descending estimated cost, input
+	// order on ties. Claiming in sorted order (rather than submitting
+	// everything and leaving admission to the queue's grant policy)
+	// keeps the cold dispatch deterministic: a freshly idle queue
+	// grants its free slots first-come, so the heaviest entries must be
+	// the first to ask.
 	order := make([]int, len(suite))
 	for i := range order {
 		order[i] = i
@@ -471,6 +535,11 @@ func (d *Device) RunSuite(ctx context.Context, suite []*kernels.Benchmark) ([]*S
 	sort.SliceStable(order, func(a, b int) bool {
 		return cost[order[a]] > cost[order[b]]
 	})
+
+	// One inflight token covers the batch, so a concurrent Synchronize
+	// drains it like any stream work.
+	d.inflight.add()
+	defer d.inflight.finish()
 
 	workers := d.workers
 	if workers > len(suite) {
@@ -550,13 +619,15 @@ func (d *Device) runSuiteEntry(ctx context.Context, b *kernels.Benchmark, partit
 
 // runBenchmark builds the benchmark's launch for the device's
 // architecture, runs it (partitioned into CTA waves when asked), and
-// checks the oracle.
+// checks the oracle. Admission is weighted by the entry's estimated
+// cost — measured cycles after the cell has run once in this process,
+// the calibrated static estimate cold.
 func (d *Device) runBenchmark(ctx context.Context, b *kernels.Benchmark, partition bool) (*sm.Result, error) {
 	l, err := b.NewLaunch(d.cfg.Arch != sm.ArchBaseline)
 	if err != nil {
 		return nil, err
 	}
-	res, err := d.run(ctx, l, partition)
+	res, err := d.run(ctx, l, partition, estimatedCost(b, d.cfgFP))
 	if err != nil {
 		return nil, fmt.Errorf("device: %s on %s: %w", b.Name, d.cfg.Arch, err)
 	}

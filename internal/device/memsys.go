@@ -149,8 +149,17 @@ func (d *Device) modelContention(out *sm.Result, traces [][]mem.Access) {
 		}
 	}
 	sortEvents(timed)
-	_, _, stretch := d.replay(timed, d.sms)
+	xbar2, _, stretch := d.replay(timed, d.sms)
 	for i := range out.SMCycles {
 		out.SMCycles[i] += stretch[i]
+	}
+	// Surface the device-time pass's per-SM port counters: how each
+	// SM's share of the recorded traffic queued on its injection port
+	// under the configured packing. The totals (requests, bytes) match
+	// the canonical Stats.Mem.NoC counters — same events, different
+	// port mapping — while the queueing columns show the per-SM skew.
+	out.NoCPorts = make([]noc.Stats, d.sms)
+	for i := range out.NoCPorts {
+		out.NoCPorts[i] = xbar2.PortStats(i)
 	}
 }

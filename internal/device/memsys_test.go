@@ -112,6 +112,23 @@ func TestMemSysCountersNonzero(t *testing.T) {
 	if got, flat := res.Stats.Mem.L2.Loads, res.Stats.Mem.Misses; got == 0 || got > flat {
 		t.Errorf("L2 read requests %d: want nonzero and at most the %d merged L1 misses", got, flat)
 	}
+	// The per-SM port breakdown covers every configured SM and accounts
+	// for exactly the canonical traffic: the device-time replay routes
+	// the same events, only through per-SM ports on a different
+	// timeline, so requests and bytes must sum to the merged counters
+	// (queue cycles legitimately differ between the two passes).
+	if got, want := len(res.NoCPorts), 4; got != want {
+		t.Fatalf("NoCPorts length = %d, want %d (one per SM)", got, want)
+	}
+	var reqs, bytes uint64
+	for _, p := range res.NoCPorts {
+		reqs += p.Requests
+		bytes += p.Bytes
+	}
+	if reqs != res.Stats.Mem.NoC.Requests || bytes != res.Stats.Mem.NoC.Bytes {
+		t.Errorf("per-SM ports carry %d requests / %d bytes, want the merged %d / %d",
+			reqs, bytes, res.Stats.Mem.NoC.Requests, res.Stats.Mem.NoC.Bytes)
+	}
 }
 
 // TestDeviceCyclesMonotoneInBandwidth sweeps the interconnect port
@@ -183,6 +200,13 @@ func TestInlineMemSysRun(t *testing.T) {
 	}
 	if flat.Stats.Mem.L2.Loads != 0 || flat.Stats.Mem.NoC.Requests != 0 {
 		t.Errorf("flat run must keep L2/NoC counters zero: %+v", flat.Stats.Mem)
+	}
+	if flat.NoCPorts != nil {
+		t.Errorf("flat run must carry no per-SM port breakdown, got %v", flat.NoCPorts)
+	}
+	if len(modeled.NoCPorts) != 1 || modeled.NoCPorts[0] != modeled.Stats.Mem.NoC {
+		t.Errorf("inline single-SM run: NoCPorts = %v, want exactly the merged counters %v",
+			modeled.NoCPorts, modeled.Stats.Mem.NoC)
 	}
 	// Functional results are oracle-checked by RunSuite elsewhere; here
 	// pin that the instruction stream is identical and only timing moved.

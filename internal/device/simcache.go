@@ -183,20 +183,12 @@ func recordCost(b *kernels.Benchmark, cfgFP uint64, res *sm.Result) {
 
 // estimatedCost returns the scheduling weight for a suite entry: the
 // memoized measured cycles after the cell has run once, otherwise the
-// static staticCost estimate.
+// calibrated staticCost estimate (calibration.go).
 func estimatedCost(b *kernels.Benchmark, cfgFP uint64) int64 {
 	if v, ok := simCosts.Load(costKey{b.Name, cfgFP}); ok {
 		return v.(int64)
 	}
 	return staticCost(b)
-}
-
-// staticCost is the pre-measurement estimate: total threads launched.
-// It is deliberately crude (per-thread work is unknowable without
-// running), but it only has to break the worst tail-bound schedules on
-// a cold registry — after one pass the measured cycles take over.
-func staticCost(b *kernels.Benchmark) int64 {
-	return int64(b.Grid) * int64(b.Block)
 }
 
 // memsysFingerprint digests the modeled memory system parameters for

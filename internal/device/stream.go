@@ -1,0 +1,317 @@
+package device
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/kernels"
+	"repro/internal/sm"
+)
+
+// The asynchronous launch API: streams, events and futures.
+//
+// A Stream is a FIFO lane of work on its device, mirroring the CUDA
+// stream model: Launch enqueues without blocking and returns a Pending
+// future; operations within one stream execute strictly in enqueue
+// order; operations on different streams run concurrently, admitted by
+// the device-global run queue. Record/WaitEvent give cross-stream
+// dependency edges, and Device.Synchronize drains everything the
+// device has in flight.
+//
+// # Determinism
+//
+// Streams never change what a simulation computes. Every launch runs
+// through exactly the engine Device.Run uses — same SM model, same
+// partitioning decision, same memory image handling — so its Stats
+// are bit-identical to the synchronous path no matter how launches
+// interleave across streams, workers or hosts. The stream layer only
+// decides when each simulation is admitted, and the interleaving
+// determinism test pins this across 1/2/8 streams and worker counts.
+//
+// # Failure semantics
+//
+// A failed operation (simulation error or context cancellation)
+// poisons its stream: every operation enqueued after it fails fast
+// with an error wrapping the original — errors.Is still sees
+// context.Canceled through the wrap — without simulating. Other
+// streams are unaffected. A poisoned stream stays poisoned; discard it
+// and open a new one (NewStream is cheap).
+//
+// Like CUDA, cyclic cross-stream waits (A waits on an event of B while
+// B waits on an event of A) deadlock those streams; nothing detects
+// this for you.
+
+// Pending is the future of one asynchronous operation: a stream
+// launch, a stream event-wait marker, or an internal suite entry. It
+// completes exactly once.
+type Pending struct {
+	done chan struct{}
+	res  *sm.Result
+	err  error
+}
+
+func newPending() *Pending { return &Pending{done: make(chan struct{})} }
+
+// Done returns a channel closed when the operation has completed
+// (successfully or not), for use in select loops.
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until the operation completes and returns its result.
+// Cancellation is carried by the context passed at enqueue time: a
+// cancelled launch completes promptly with that context's error, so
+// Wait needs no context of its own.
+func (p *Pending) Wait() (*sm.Result, error) {
+	<-p.done
+	return p.res, p.err
+}
+
+// failNow completes p immediately with err, before any goroutine runs.
+func (p *Pending) failNow(err error) *Pending {
+	p.err = err
+	close(p.done)
+	return p
+}
+
+// Stream is a FIFO sequence of asynchronous operations on one device.
+// A Stream is safe for concurrent use; operations enqueued from
+// several goroutines are serialized in Launch-call order.
+type Stream struct {
+	dev *Device
+
+	// depth, when non-nil, is the launch-queue bound
+	// (WithStreamQueueDepth): one token per enqueued-but-incomplete
+	// launch, so Launch applies backpressure once the stream is depth
+	// launches deep.
+	depth chan struct{}
+
+	mu   sync.Mutex
+	tail *Pending // most recently enqueued operation; nil for a fresh stream
+}
+
+// NewStream opens a new, independent FIFO stream on the device.
+// Streams are cheap: open one per logical sequence of dependent work.
+func (d *Device) NewStream() *Stream {
+	s := &Stream{dev: d}
+	if d.streamDepth > 0 {
+		s.depth = make(chan struct{}, d.streamDepth)
+	}
+	return s
+}
+
+// Launch enqueues the launch on the stream and returns its future
+// without waiting for execution. The launch runs after every earlier
+// operation on this stream has completed (FIFO), concurrently with
+// other streams, admitted by the device-global run queue with the
+// other work the device is running. ctx bounds this launch: queueing,
+// admission and the simulation itself; a cancelled launch's Pending
+// returns the context's error and later FIFO entries on this stream
+// fail fast (see the failure semantics above).
+//
+// With WithStreamQueueDepth set, Launch blocks while the stream
+// already has that many incomplete launches — backpressure for
+// producers that outrun the device — and returns an already-failed
+// Pending if ctx is cancelled during the wait.
+//
+// Global memory is mutated in place exactly as Device.Run mutates it.
+// Launches sharing a global slice must be ordered — by one stream or
+// by events — or they race just like concurrent Device.Run calls.
+func (s *Stream) Launch(ctx context.Context, l *exec.Launch) *Pending {
+	p := newPending()
+	// A launch whose context is already dead fails before it joins the
+	// FIFO chain: deterministic (no race between the depth gate and the
+	// cancellation) and poison-free — the stream stays usable.
+	if err := ctx.Err(); err != nil {
+		return p.failNow(err)
+	}
+	if s.depth != nil {
+		select {
+		case s.depth <- struct{}{}:
+		case <-ctx.Done():
+			return p.failNow(ctx.Err())
+		}
+	}
+	s.enqueue(p, func() (*sm.Result, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return s.dev.run(ctx, l, s.dev.partition, launchCost(l))
+	}, ctx, s.depth != nil)
+	return p
+}
+
+// WaitEvent enqueues a dependency edge: operations enqueued on this
+// stream after the call do not start until the work the event recorded
+// has completed. A failed recorded prefix poisons this stream exactly
+// like a failed launch would.
+func (s *Stream) WaitEvent(ev *Event) {
+	dep := ev.dep
+	s.enqueue(newPending(), func() (*sm.Result, error) {
+		if dep != nil {
+			<-dep.done
+			if dep.err != nil {
+				return nil, fmt.Errorf("device: stream: awaited event's recorded work failed: %w", dep.err)
+			}
+		}
+		return nil, nil
+	}, nil, false)
+}
+
+// enqueue appends an operation to the stream's FIFO chain and starts
+// its goroutine. The goroutine waits for the predecessor, propagates
+// poison, then runs fn; ctx (may be nil) aborts the predecessor wait
+// early. holdsDepth marks operations that took a launch-queue token.
+func (s *Stream) enqueue(p *Pending, fn func() (*sm.Result, error), ctx context.Context, holdsDepth bool) {
+	s.dev.inflight.add()
+	s.mu.Lock()
+	prev := s.tail
+	s.tail = p
+	s.mu.Unlock()
+
+	go func() {
+		defer func() {
+			close(p.done)
+			s.dev.inflight.finish()
+			if holdsDepth {
+				<-s.depth
+			}
+		}()
+		if prev != nil {
+			if ctx != nil {
+				select {
+				case <-prev.done:
+				case <-ctx.Done():
+					p.err = ctx.Err()
+					return
+				}
+			} else {
+				<-prev.done
+			}
+			if prev.err != nil {
+				p.err = fmt.Errorf("device: stream: not run: earlier stream operation failed: %w", prev.err)
+				return
+			}
+		}
+		p.res, p.err = fn()
+	}()
+}
+
+// Record captures the stream's current FIFO position: the returned
+// event completes when every operation enqueued on the stream before
+// the call has completed. Recording an empty stream yields an
+// already-complete event.
+func (s *Stream) Record() *Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Event{dep: s.tail}
+}
+
+// Event marks a point in a stream's FIFO order, for cross-stream
+// dependencies (Stream.WaitEvent) and host-side waits (Event.Wait).
+type Event struct {
+	dep *Pending // nil: recorded on an empty stream, complete immediately
+}
+
+// Wait blocks until the recorded work has completed or ctx is done. It
+// returns nil on completion, the recorded work's error if that work
+// failed, or ctx.Err() on cancellation.
+func (e *Event) Wait(ctx context.Context) error {
+	if e.dep == nil {
+		return nil
+	}
+	select {
+	case <-e.dep.done:
+		return e.dep.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Synchronize blocks until every operation in flight on the device —
+// stream launches, pending event edges, Run calls, RunSuite entries —
+// has completed, or until ctx is done. Work enqueued while Synchronize
+// is waiting is waited for too: it returns only after observing a
+// fully idle device.
+func (d *Device) Synchronize(ctx context.Context) error {
+	return d.inflight.wait(ctx)
+}
+
+// SubmitBenchmark enqueues one suite benchmark on its own implicit
+// stream: the run is admitted by the device-global queue at the
+// benchmark's estimated cost, oracle-validated, served from the
+// simulation cache when one is attached, and cost-recorded — exactly
+// like a one-entry RunSuite batch. Partitioning follows the device's
+// WithGridPartition setting (WithAutoPartition is a batch-level
+// heuristic and needs RunSuite). The experiments runner submits every
+// figure's prefetch matrix through this, overlapping work across
+// configurations.
+func (d *Device) SubmitBenchmark(ctx context.Context, b *kernels.Benchmark) *Pending {
+	return d.submit(func() (*sm.Result, error) {
+		return d.runSuiteEntry(ctx, b, d.partition)
+	})
+}
+
+// submit runs fn on its own goroutine, tracked for Synchronize.
+func (d *Device) submit(fn func() (*sm.Result, error)) *Pending {
+	p := newPending()
+	d.inflight.add()
+	go func() {
+		defer func() {
+			close(p.done)
+			d.inflight.finish()
+		}()
+		p.res, p.err = fn()
+	}()
+	return p
+}
+
+// inflight counts the device's outstanding asynchronous operations and
+// lets Synchronize wait for zero.
+type inflight struct {
+	mu   sync.Mutex
+	n    int
+	idle chan struct{} // created when n leaves 0, closed when it returns
+}
+
+func (f *inflight) add() {
+	f.mu.Lock()
+	if f.n == 0 {
+		f.idle = make(chan struct{})
+	}
+	f.n++
+	f.mu.Unlock()
+}
+
+func (f *inflight) finish() {
+	f.mu.Lock()
+	f.n--
+	if f.n == 0 {
+		close(f.idle)
+	}
+	f.mu.Unlock()
+}
+
+func (f *inflight) wait(ctx context.Context) error {
+	for {
+		f.mu.Lock()
+		if f.n == 0 {
+			f.mu.Unlock()
+			return nil
+		}
+		ch := f.idle
+		f.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// launchCost is the admission weight of a raw launch: its thread
+// count. Suite entries go through estimatedCost instead, which knows
+// measured cycles and the per-benchmark calibration table.
+func launchCost(l *exec.Launch) int64 {
+	return int64(l.GridDim) * int64(l.BlockDim)
+}

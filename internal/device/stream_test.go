@@ -1,0 +1,438 @@
+package device
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/kernels"
+	"repro/internal/sm"
+)
+
+// streamSuite picks a spread of cheap suite kernels for the
+// interleaving tests: multi-wave irregulars and single-wave regulars.
+func streamSuite(t *testing.T) []*kernels.Benchmark {
+	t.Helper()
+	var out []*kernels.Benchmark
+	for _, name := range []string{"Histogram", "BFS", "DWTHaar1D", "MatrixMul", "Transpose", "BlackScholes"} {
+		b, ok := kernels.ByName(name)
+		if !ok {
+			t.Fatalf("benchmark %s missing", name)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestStreamInterleavingDeterminism is the stream API's acceptance
+// contract: N launches submitted across 1, 2 and 8 streams, under 1
+// and 4 workers (run with -race in CI), produce per-launch Stats
+// bit-identical to what sequential synchronous Device.Run produces,
+// and final memory images that still match each benchmark's oracle.
+func TestStreamInterleavingDeterminism(t *testing.T) {
+	suite := streamSuite(t)
+	ctx := context.Background()
+
+	// Sequential reference: one synchronous Run per benchmark.
+	ref := make(map[string]sm.Stats, len(suite))
+	refDev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range suite {
+		l, err := b.NewLaunch(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := refDev.Run(ctx, l)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		ref[b.Name] = res.Stats
+	}
+
+	// Two rounds over the suite, round-robined across the streams.
+	launches := append(append([]*kernels.Benchmark{}, suite...), suite...)
+	for _, nStreams := range []int{1, 2, 8} {
+		for _, workers := range []int{1, 4} {
+			dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			streams := make([]*Stream, nStreams)
+			for i := range streams {
+				streams[i] = dev.NewStream()
+			}
+			type sub struct {
+				bench   *kernels.Benchmark
+				launch  *exec.Launch
+				pending *Pending
+			}
+			subs := make([]sub, len(launches))
+			for i, b := range launches {
+				l, err := b.NewLaunch(true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				subs[i] = sub{bench: b, launch: l, pending: streams[i%nStreams].Launch(ctx, l)}
+			}
+			if err := dev.Synchronize(ctx); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range subs {
+				res, err := s.pending.Wait()
+				if err != nil {
+					t.Fatalf("streams=%d workers=%d: %s: %v", nStreams, workers, s.bench.Name, err)
+				}
+				if !reflect.DeepEqual(res.Stats, ref[s.bench.Name]) {
+					t.Errorf("streams=%d workers=%d: %s: stream stats differ from the synchronous path",
+						nStreams, workers, s.bench.Name)
+				}
+				if !bytes.Equal(s.launch.Global, s.bench.Expected()) {
+					t.Errorf("streams=%d workers=%d: %s: final memory diverged from the oracle",
+						nStreams, workers, s.bench.Name)
+				}
+			}
+		}
+	}
+}
+
+// counterProgram builds a one-warp kernel that increments the 32-bit
+// word at %p0 — FIFO-observable state shared between launches.
+func counterProgram(t *testing.T) *exec.Launch {
+	t.Helper()
+	prog := mustProgram(t, "counter", `
+	mov  r1, %p0
+	ld.g r2, [r1]
+	iadd r2, r2, 1
+	st.g [r1], r2
+	exit
+`)
+	return &exec.Launch{Prog: prog, GridDim: 1, BlockDim: 32, Global: make([]byte, 4)}
+}
+
+// TestStreamFIFOOrder: launches on one stream execute strictly in
+// enqueue order even with idle workers. Every launch increments the
+// same global counter through a shared memory image; concurrent or
+// reordered execution would race on the slice (caught by -race) and
+// miss increments.
+func TestStreamFIFOOrder(t *testing.T) {
+	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := counterProgram(t)
+	s := dev.NewStream()
+	const n = 16
+	pendings := make([]*Pending, n)
+	for i := range pendings {
+		l := &exec.Launch{Prog: base.Prog, GridDim: 1, BlockDim: 32, Global: base.Global}
+		pendings[i] = s.Launch(context.Background(), l)
+	}
+	for i, p := range pendings {
+		if _, err := p.Wait(); err != nil {
+			t.Fatalf("launch %d: %v", i, err)
+		}
+	}
+	if got := binary.LittleEndian.Uint32(base.Global); got != n {
+		t.Errorf("counter = %d after %d FIFO launches, want %d", got, n, n)
+	}
+}
+
+// spinLaunch builds a launch that simulates long enough to cancel
+// mid-flight.
+func spinLaunch(t *testing.T) *exec.Launch {
+	t.Helper()
+	prog := mustProgram(t, "spin", `
+	mov  r1, 0
+	mov  r2, 1000000
+loop:
+	iadd r1, r1, 1
+	isetp.lt r3, r1, r2
+	bra  r3, loop
+	exit
+`)
+	return &exec.Launch{Prog: prog, GridDim: 64, BlockDim: 256}
+}
+
+// TestStreamCancellationMidStream pins the failure semantics: a launch
+// cancelled mid-simulation completes with ctx.Err(), every entry
+// enqueued after it on the same stream fails fast without simulating
+// (the poison wraps the original cancellation so errors.Is still sees
+// it), and other streams on the device are unaffected.
+func TestStreamCancellationMidStream(t *testing.T) {
+	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	poisoned := dev.NewStream()
+	p1 := poisoned.Launch(ctx, spinLaunch(t))
+	b, ok := kernels.ByName("BFS")
+	if !ok {
+		t.Fatal("BFS missing")
+	}
+	mkBFS := func() *exec.Launch {
+		l, err := b.NewLaunch(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	// Enqueued after the doomed launch, with their own live contexts:
+	// must fail fast by poison, not run.
+	p2 := poisoned.Launch(context.Background(), mkBFS())
+	p3 := poisoned.Launch(context.Background(), mkBFS())
+
+	healthy := dev.NewStream()
+	q1 := healthy.Launch(context.Background(), mkBFS())
+
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	if _, err := p1.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled launch returned %v, want context.Canceled", err)
+	}
+	start := time.Now()
+	for i, p := range []*Pending{p2, p3} {
+		res, err := p.Wait()
+		if res != nil {
+			t.Errorf("poisoned entry %d returned a result — it must not simulate", i)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("poisoned entry %d error = %v, want it to wrap context.Canceled", i, err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "earlier stream operation failed") {
+			t.Errorf("poisoned entry %d error = %v, want the poison wrap", i, err)
+		}
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("poisoned entries took %v to fail, want fail-fast", d)
+	}
+
+	// Poison is sticky: work enqueued after the failure fails too, and
+	// an event recorded on the poisoned stream reports the failure.
+	if _, err := poisoned.Launch(context.Background(), mkBFS()).Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("post-failure launch error = %v, want sticky poison", err)
+	}
+	if err := poisoned.Record().Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Errorf("event on poisoned stream waited to %v, want the recorded failure", err)
+	}
+
+	// The sibling stream is unaffected.
+	if _, err := q1.Wait(); err != nil {
+		t.Errorf("healthy stream: %v", err)
+	}
+}
+
+// TestEventCrossStreamDependency: WaitEvent orders work across
+// streams. Stream A writes a value to shared memory; stream B waits on
+// A's recorded event before reading it — without the edge the two
+// launches would race on the shared image (-race would flag it).
+func TestEventCrossStreamDependency(t *testing.T) {
+	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer := mustProgram(t, "writer", `
+	mov  r1, %p0
+	mov  r2, 42
+	st.g [r1], r2
+	exit
+`)
+	reader := mustProgram(t, "reader", `
+	mov  r1, %p0
+	ld.g r2, [r1]
+	iadd r3, r1, 4
+	st.g [r3], r2
+	exit
+`)
+	global := make([]byte, 8)
+	ctx := context.Background()
+
+	a, bStream := dev.NewStream(), dev.NewStream()
+	a.Launch(ctx, &exec.Launch{Prog: writer, GridDim: 1, BlockDim: 32, Global: global})
+	ev := a.Record()
+	bStream.WaitEvent(ev)
+	rp := bStream.Launch(ctx, &exec.Launch{Prog: reader, GridDim: 1, BlockDim: 32, Global: global})
+	if _, err := rp.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(global[4:]); got != 42 {
+		t.Errorf("reader saw %d, want the writer's 42 — event edge did not order the streams", got)
+	}
+	if err := ev.Wait(ctx); err != nil {
+		t.Errorf("completed event waits to %v", err)
+	}
+	if err := dev.NewStream().Record().Wait(ctx); err != nil {
+		t.Errorf("event on an empty stream must complete immediately, got %v", err)
+	}
+}
+
+// TestDeviceSynchronize: Synchronize returns only once everything in
+// flight — across streams — has completed, and honors its context.
+func TestDeviceSynchronize(t *testing.T) {
+	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := kernels.ByName("BFS")
+	if !ok {
+		t.Fatal("BFS missing")
+	}
+	var pendings []*Pending
+	for i := 0; i < 3; i++ {
+		l, err := b.NewLaunch(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, dev.NewStream().Launch(context.Background(), l))
+	}
+	if err := dev.Synchronize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pendings {
+		select {
+		case <-p.Done():
+		default:
+			t.Errorf("launch %d still pending after Synchronize", i)
+		}
+	}
+
+	// A spinning launch keeps the device busy: Synchronize must give up
+	// with the context's error, and drain cleanly once the spin is
+	// cancelled.
+	ctx, cancel := context.WithCancel(context.Background())
+	spin := dev.NewStream().Launch(ctx, spinLaunch(t))
+	short, cancelShort := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancelShort()
+	if err := dev.Synchronize(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Synchronize on a busy device returned %v, want deadline exceeded", err)
+	}
+	cancel()
+	if err := dev.Synchronize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spin.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("spin launch returned %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamQueueDepthBackpressure: with WithStreamQueueDepth(1) a
+// second Launch blocks until the stream drains; a context expiring
+// during the block yields an already-failed Pending.
+func TestStreamQueueDepthBackpressure(t *testing.T) {
+	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(1), WithStreamQueueDepth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := dev.NewStream()
+	p1 := s.Launch(ctx, spinLaunch(t))
+
+	short, cancelShort := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancelShort()
+	p2 := s.Launch(short, spinLaunch(t))
+	if _, err := p2.Wait(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("backpressured launch returned %v, want deadline exceeded", err)
+	}
+	select {
+	case <-p1.Done():
+		t.Error("first launch completed before its cancellation")
+	default:
+	}
+	cancel()
+	if _, err := p1.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("first launch returned %v, want context.Canceled", err)
+	}
+	if err := dev.Synchronize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// New creation-time validation: a negative depth is rejected.
+	if _, err := New(WithStreamQueueDepth(-1)); err == nil {
+		t.Error("negative stream queue depth must be rejected")
+	}
+}
+
+// TestRunQueueGrantOrder pins the admission policy: a freed slot goes
+// to the highest-cost waiter, equal costs FIFO.
+func TestRunQueueGrantOrder(t *testing.T) {
+	q := NewRunQueue(1)
+	ctx := context.Background()
+	if err := q.acquire(ctx, 0); err != nil { // occupy the only slot
+		t.Fatal(err)
+	}
+	costs := []int64{1, 100, 10, 100}
+	var mu sync.Mutex
+	var got []int64
+	var wg sync.WaitGroup
+	for i, c := range costs {
+		wg.Add(1)
+		go func(c int64) {
+			defer wg.Done()
+			if err := q.acquire(ctx, c); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			got = append(got, c)
+			mu.Unlock()
+			q.release()
+		}(c)
+		// Register waiters one at a time so arrival order (the FIFO
+		// tie-break) is deterministic.
+		for q.waiting() != i+1 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	q.release() // start the cascade
+	wg.Wait()
+	want := []int64{100, 100, 10, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("grant order = %v, want %v (LJF, FIFO ties)", got, want)
+	}
+}
+
+// TestRunQueueCancelledWaiter: a waiter abandoning the queue neither
+// blocks later grants nor leaks its would-be slot.
+func TestRunQueueCancelledWaiter(t *testing.T) {
+	q := NewRunQueue(1)
+	if err := q.acquire(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error)
+	go func() { errc <- q.acquire(ctx, 99) }()
+	for q.waiting() != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire returned %v", err)
+	}
+	q.release()
+	// The slot must be free again for an uncontended acquire.
+	done := make(chan struct{})
+	go func() {
+		if err := q.acquire(context.Background(), 0); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slot leaked: acquire after release never returned")
+	}
+	q.release()
+}

@@ -21,15 +21,18 @@ import (
 
 // Runner executes benchmark simulations with memoization (several
 // figures share configurations). Simulation and oracle validation are
-// delegated to the device engine: each figure prefetches its whole
-// (benchmark, configuration) request set through Device.RunSuite, so
-// the simulations fan out across the host's cores (cost-aware,
-// longest-job-first) instead of running serially; table assembly then
-// reads from the cache. Both cache layers — the runner's per-cell
-// Stats table and the device-level simulation cache shared across all
-// the runner's figures — key on sm.Config.Fingerprint, which digests
-// every configuration field, so two different configurations can never
-// alias a cell. The runner is safe for concurrent use.
+// delegated to the device engine: each figure submits its whole
+// (benchmark, configuration) request set as asynchronous stream
+// submissions — one device per configuration, every entry enqueued
+// before any result is awaited — so the simulations of all
+// configurations fan out together across the host's cores, admitted
+// longest-job-first by one run queue shared across every device the
+// runner builds; table assembly then reads from the cache. Both cache
+// layers — the runner's per-cell Stats table and the device-level
+// simulation cache shared across all the runner's figures — key on
+// sm.Config.Fingerprint, which digests every configuration field, so
+// two different configurations can never alias a cell. The runner is
+// safe for concurrent use.
 type Runner struct {
 	mu    sync.Mutex
 	cache map[runKey]*sm.Stats
@@ -38,8 +41,14 @@ type Runner struct {
 	// the runner builds, deduplicating cells across figures and passes.
 	sims *device.SimCache
 
+	// queue is the run queue shared by every device the runner builds,
+	// so concurrent figures and configurations stay bounded by one
+	// worker pool; created on first use from Workers.
+	queue *device.RunQueue
+
 	// Workers bounds the host goroutines simulating concurrently;
-	// 0 means GOMAXPROCS.
+	// 0 means GOMAXPROCS. Read when the first simulation is submitted;
+	// later changes have no effect.
 	Workers int
 
 	// Progress, when non-nil, receives one line per simulation.
@@ -73,12 +82,27 @@ type Request struct {
 	Cfg   sm.Config
 }
 
-// Prefetch simulates every not-yet-cached request, fanning the batch
-// out through Device.RunSuite (grouped by configuration, bounded by
-// Workers). Each simulation's final memory is checked against the
-// benchmark's Go reference by the device; a mismatch is an error, never
-// a silent wrong figure. Prefetch is deterministic: results do not
-// depend on the worker count or on completion order.
+// runQueue returns the runner's shared admission queue, creating it
+// from Workers on first use.
+func (r *Runner) runQueue() *device.RunQueue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.queue == nil {
+		r.queue = device.NewRunQueue(r.Workers)
+	}
+	return r.queue
+}
+
+// Prefetch simulates every not-yet-cached request as asynchronous
+// stream submissions: one device per distinct configuration, every
+// benchmark enqueued up front (Device.SubmitBenchmark), all admitted
+// by the runner's shared run queue — so the heavy cells of one
+// configuration overlap the light cells of another instead of the
+// configurations running batch-by-batch. Each simulation's final
+// memory is checked against the benchmark's Go reference by the
+// device; a mismatch is an error, never a silent wrong figure.
+// Prefetch is deterministic: results do not depend on the worker count
+// or on completion order.
 func (r *Runner) Prefetch(ctx context.Context, reqs []Request) error {
 	type group struct {
 		cfg     sm.Config
@@ -110,32 +134,49 @@ func (r *Runner) Prefetch(ctx context.Context, reqs []Request) error {
 	}
 	r.mu.Unlock()
 
-	for _, g := range groups {
-		dev, err := device.New(device.WithConfig(g.cfg), device.WithWorkers(r.Workers),
+	type submission struct {
+		bench   *kernels.Benchmark
+		cfg     *sm.Config
+		pending *device.Pending
+	}
+	var subs []submission
+	for gi := range groups {
+		g := &groups[gi]
+		dev, err := device.New(device.WithConfig(g.cfg), device.WithRunQueue(r.runQueue()),
 			device.WithSimCache(r.sims))
 		if err != nil {
 			return fmt.Errorf("experiments: %w", err)
 		}
-		results, err := dev.RunSuite(ctx, g.benches)
-		if err != nil {
-			return fmt.Errorf("experiments: %w", err)
+		for _, b := range g.benches {
+			subs = append(subs, submission{bench: b, cfg: &g.cfg, pending: dev.SubmitBenchmark(ctx, b)})
 		}
-		r.mu.Lock()
-		for _, sr := range results {
-			if sr.Err != nil {
-				r.mu.Unlock()
-				return fmt.Errorf("experiments: %w", sr.Err)
-			}
-			s := sr.Result.Stats
-			r.cache[configKey(sr.Bench.Name, &g.cfg)] = &s
-			if r.Progress != nil {
-				fmt.Fprintf(r.Progress, "  %-22s %-10s IPC %6.2f  (%d cycles)\n",
-					sr.Bench.Name, g.cfg.Arch, s.IPC(), s.Cycles)
-			}
-		}
-		r.mu.Unlock()
 	}
-	return nil
+
+	// Await in submission order — completion order is irrelevant to the
+	// cached values, and a deterministic wait order keeps the Progress
+	// log stable. Every submission is awaited even after a failure, so
+	// no simulation keeps running (and mutating the shared cache and
+	// queue) after Prefetch returns; the first error in submission
+	// order is reported, successful cells are cached regardless.
+	var firstErr error
+	for _, sub := range subs {
+		res, err := sub.pending.Wait()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiments: %w", err)
+			}
+			continue
+		}
+		s := res.Stats
+		r.mu.Lock()
+		r.cache[configKey(sub.bench.Name, sub.cfg)] = &s
+		r.mu.Unlock()
+		if r.Progress != nil {
+			fmt.Fprintf(r.Progress, "  %-22s %-10s IPC %6.2f  (%d cycles)\n",
+				sub.bench.Name, sub.cfg.Arch, s.IPC(), s.Cycles)
+		}
+	}
+	return firstErr
 }
 
 // Stats simulates benchmark b under cfg (memoized) and returns the run
@@ -193,7 +234,8 @@ func (c Cell) text() string {
 	}
 }
 
-// Text renders the table with aligned columns.
+// Text renders the table with aligned columns. Column widths adapt to
+// the widest cell so long entries (per-SM breakdowns) stay readable.
 func (t *Table) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", t.Title)
@@ -201,6 +243,13 @@ func (t *Table) Text() string {
 	widths[0] = 22
 	for i, c := range t.Cols {
 		widths[i+1] = max(10, len(c)+1)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r.Cells {
+			if i+1 < len(widths) {
+				widths[i+1] = max(widths[i+1], len(c.text())+1)
+			}
+		}
 	}
 	fmt.Fprintf(&b, "%-*s", widths[0], "")
 	for i, c := range t.Cols {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/device"
 	"repro/internal/kernels"
@@ -23,21 +24,22 @@ var memsysBandwidths = []float64{32, 8, 2}
 // MemoryHierarchy studies the modeled shared memory system: each
 // bandwidth-bound benchmark runs partitioned across 4 SMs behind the
 // shared L2, sweeping the interconnect port bandwidth. Columns report
-// the modeled device wall-clock (DeviceCycles) per bandwidth, plus the
-// L2 read hit rate and total NoC queueing at the widest setting. The
-// wall-clock must grow as the ports narrow — the contention signal the
-// flat-latency model could not express.
+// the modeled device wall-clock (DeviceCycles) per bandwidth, plus —
+// at the widest setting — the L2 read hit rate, total NoC queueing,
+// and the per-SM breakdown of that queueing (Result.NoCPorts: port i
+// is SM i's injection port under the device-time packing), which shows
+// how unevenly the waves' traffic loads the crossbar.
 func (r *Runner) MemoryHierarchy() (*Table, error) {
 	const sms = 4
 	t := &Table{
 		Title: fmt.Sprintf("Shared L2 + interconnect: device cycles on %d SMs vs. NoC port bandwidth", sms),
-		Note:  "flat column: seed flat-latency DRAM model (no L2/NoC); hit rate and queue cycles reported at the widest port",
+		Note:  "flat column: seed flat-latency DRAM model (no L2/NoC); hit rate and queue cycles (total and per-SM port) reported at the widest port",
 		Cols:  []string{"flat"},
 	}
 	for _, bw := range memsysBandwidths {
 		t.Cols = append(t.Cols, fmt.Sprintf("%gB/c", bw))
 	}
-	t.Cols = append(t.Cols, "L2 hit%", "NoC queue")
+	t.Cols = append(t.Cols, "L2 hit%", "NoC queue", "queue/SM port")
 
 	for _, name := range memsysBenches {
 		b, ok := kernels.ByName(name)
@@ -66,9 +68,14 @@ func (r *Runner) MemoryHierarchy() (*Table, error) {
 			row.Cells = append(row.Cells, num(float64(res.DeviceCycles())))
 		}
 		l2 := &widest.Stats.Mem.L2
+		ports := make([]string, len(widest.NoCPorts))
+		for i, p := range widest.NoCPorts {
+			ports[i] = fmt.Sprintf("%d", p.QueueCycles)
+		}
 		row.Cells = append(row.Cells,
 			str(fmt.Sprintf("%.1f", 100*l2.HitRate())),
-			str(fmt.Sprintf("%d", widest.Stats.Mem.NoC.QueueCycles)))
+			str(fmt.Sprintf("%d", widest.Stats.Mem.NoC.QueueCycles)),
+			str(strings.Join(ports, "/")))
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
@@ -76,14 +83,15 @@ func (r *Runner) MemoryHierarchy() (*Table, error) {
 
 // memsysRun simulates one benchmark partitioned across the SMs, with
 // the shared memory system enabled when ncfg is non-nil. Runs go
-// through RunSuite so the runner's simulation cache memoizes each
-// (benchmark, SM count, interconnect) cell across passes.
+// through RunSuite on the runner's shared queue, so the simulation
+// cache memoizes each (benchmark, SM count, interconnect) cell across
+// passes.
 func (r *Runner) memsysRun(b *kernels.Benchmark, sms int, ncfg *noc.Config) (*sm.Result, error) {
 	opts := []device.Option{
 		device.WithArch(sm.ArchSBISWI),
 		device.WithSMs(sms),
 		device.WithGridPartition(true),
-		device.WithWorkers(r.Workers),
+		device.WithRunQueue(r.runQueue()),
 		device.WithSimCache(r.sims),
 	}
 	if ncfg != nil {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -22,9 +23,11 @@ func TestMemoryHierarchyTable(t *testing.T) {
 	if len(tab.Rows) != len(memsysBenches) {
 		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(memsysBenches))
 	}
-	// Columns: flat, one per bandwidth, L2 hit%, NoC queue.
-	wantCols := 1 + len(memsysBandwidths) + 2
+	// Columns: flat, one per bandwidth, L2 hit%, NoC queue, per-SM
+	// port queue breakdown.
+	wantCols := 1 + len(memsysBandwidths) + 3
 	sawHits := false
+	sawPortQueue := false
 	for _, row := range tab.Rows {
 		if len(row.Cells) != wantCols {
 			t.Fatalf("%s: %d cells, want %d", row.Name, len(row.Cells), wantCols)
@@ -42,13 +45,26 @@ func TestMemoryHierarchyTable(t *testing.T) {
 		if row.Cells[1].Val < flat {
 			t.Errorf("%s: modeled wall-clock %f below the flat model's %f", row.Name, row.Cells[1].Val, flat)
 		}
-		hitPct, err := strconv.ParseFloat(row.Cells[wantCols-2].Str, 64)
+		hitPct, err := strconv.ParseFloat(row.Cells[wantCols-3].Str, 64)
 		if err != nil {
-			t.Fatalf("%s: hit-rate cell %q: %v", row.Name, row.Cells[wantCols-2].Str, err)
+			t.Fatalf("%s: hit-rate cell %q: %v", row.Name, row.Cells[wantCols-3].Str, err)
 		}
-		queue, err := strconv.ParseFloat(row.Cells[wantCols-1].Str, 64)
+		queue, err := strconv.ParseFloat(row.Cells[wantCols-2].Str, 64)
 		if err != nil {
-			t.Fatalf("%s: queue cell %q: %v", row.Name, row.Cells[wantCols-1].Str, err)
+			t.Fatalf("%s: queue cell %q: %v", row.Name, row.Cells[wantCols-2].Str, err)
+		}
+		ports := strings.Split(row.Cells[wantCols-1].Str, "/")
+		if len(ports) != 4 {
+			t.Fatalf("%s: per-SM port cell %q: want 4 SM entries", row.Name, row.Cells[wantCols-1].Str)
+		}
+		for _, p := range ports {
+			v, err := strconv.ParseUint(p, 10, 64)
+			if err != nil {
+				t.Fatalf("%s: per-SM port cell %q: %v", row.Name, row.Cells[wantCols-1].Str, err)
+			}
+			if v > 0 {
+				sawPortQueue = true
+			}
 		}
 		if hitPct > 0 {
 			sawHits = true
@@ -59,5 +75,8 @@ func TestMemoryHierarchyTable(t *testing.T) {
 	}
 	if !sawHits {
 		t.Error("no benchmark produced L2 hits — the shared L2 never saw reuse")
+	}
+	if !sawPortQueue {
+		t.Error("every per-SM port queue entry is zero — the device-time replay surfaced no port pressure")
 	}
 }

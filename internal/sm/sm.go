@@ -9,6 +9,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/noc"
 	"repro/internal/reconv"
 	"repro/internal/sched"
 )
@@ -85,6 +86,15 @@ type Result struct {
 	// device replays these streams through the shared L2 and
 	// interconnect to model cross-SM contention.
 	MemTrace []mem.Access
+
+	// NoCPorts holds the per-SM interconnect port counters when the
+	// device models the shared memory system (port i belongs to SM i;
+	// length 1 for an unpartitioned single-SM run). Like SMCycles — and
+	// unlike the merged Stats.Mem.NoC counters, which come from the
+	// SM-count-independent canonical replay — it reflects the
+	// device-time packing, so it legitimately varies with the
+	// configured SM count. Nil under the flat-latency DRAM model.
+	NoCPorts []noc.Stats
 }
 
 // DeviceCycles returns the modeled device wall-clock: the busiest SM's

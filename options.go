@@ -15,6 +15,10 @@ type L2Config = mem.L2Config
 // traversal latency).
 type NoCConfig = noc.Config
 
+// NoCStats holds interconnect counters: the merged totals in
+// Stats.Mem.NoC, and the per-SM port breakdown in Result.NoCPorts.
+type NoCStats = noc.Stats
+
 // DefaultL2Config returns the Fermi-class shared L2 WithL2 models when
 // not overridden: 768 KB, 8-way, 8 banks.
 func DefaultL2Config() L2Config { return mem.DefaultL2() }
@@ -47,10 +51,25 @@ func WithConfig(cfg Config) Option { return device.WithConfig(cfg) }
 func WithSMs(n int) Option { return device.WithSMs(n) }
 
 // WithWorkers bounds the host goroutines simulating concurrently
-// across everything the device runs — CTA waves and RunSuite entries
-// alike (default: GOMAXPROCS). The worker count never changes results,
-// only wall-clock.
+// across everything the device runs — stream launches, CTA waves and
+// RunSuite entries alike (default: GOMAXPROCS). The worker count never
+// changes results, only wall-clock. Ignored when WithRunQueue shares a
+// queue: the queue's slot count is the bound then.
 func WithWorkers(n int) Option { return device.WithWorkers(n) }
+
+// WithRunQueue admits the device's simulations through a shared
+// RunQueue instead of a private one, bounding several devices'
+// combined load — streams and suites alike — by one worker pool under
+// one longest-job-first policy. Grant order never changes results. A
+// nil queue keeps the default private queue.
+func WithRunQueue(q *RunQueue) Option { return device.WithRunQueue(q) }
+
+// WithStreamQueueDepth bounds how many enqueued-but-incomplete
+// launches each Stream of the device may hold: Stream.Launch blocks
+// once its stream is n launches deep, giving producers backpressure
+// instead of an unbounded launch queue. 0 (the default) means
+// unbounded.
+func WithStreamQueueDepth(n int) Option { return device.WithStreamQueueDepth(n) }
 
 // WithGridPartition enables intra-launch parallelism: the grid is
 // split into SM-sized CTA waves, each simulated on an independent SM
