@@ -190,6 +190,17 @@
 // Config.ReferenceLoop and asserted equivalent by the test suite. See
 // the README's Performance section for how to benchmark and profile.
 //
+// # Static analysis
+//
+// The invariants above — bit-identical statistics, a zero-allocation
+// issue path, complete Merge aggregation — are additionally enforced
+// at vet time by the repository's own analyzer suite (internal/lint,
+// run as `go run ./cmd/sbwi-lint ./...` or as a `go vet -vettool`).
+// The //sbwi: comment directives appearing in simulation-core sources
+// (hotpath, unordered, alloc-ok, wallclock-ok, nomerge) belong to that
+// suite; each waiver carries its one-line justification inline. See
+// the README's "Static analysis" section for the analyzer catalogue.
+//
 // # Migrating from the v0 API
 //
 // The original one-shot entry points — sbwi.Run and sbwi.Configure —

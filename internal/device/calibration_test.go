@@ -1,6 +1,7 @@
 package device
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/kernels"
@@ -24,7 +25,12 @@ func TestCalibrationCoversSuite(t *testing.T) {
 			t.Errorf("%s: non-positive calibrated weight %g", b.Name, w)
 		}
 	}
-	for name := range calibratedCyclesPerThread {
+	calibrated := make([]string, 0, len(calibratedCyclesPerThread))
+	for name := range calibratedCyclesPerThread { //sbwi:unordered names are sorted before use
+		calibrated = append(calibrated, name)
+	}
+	sort.Strings(calibrated)
+	for _, name := range calibrated {
 		if !names[name] {
 			t.Errorf("%s: calibrated but not in the suite — stale table entry", name)
 		}

@@ -91,7 +91,7 @@ func TestGoldenStats(t *testing.T) {
 
 	var drift []string
 	names := make([]string, 0, len(want))
-	for name := range want {
+	for name := range want { //sbwi:unordered names are sorted before use
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -118,7 +118,12 @@ func TestGoldenStats(t *testing.T) {
 			}
 		}
 	}
-	for name := range got {
+	gotNames := make([]string, 0, len(got))
+	for name := range got { //sbwi:unordered names are sorted before use
+		gotNames = append(gotNames, name)
+	}
+	sort.Strings(gotNames)
+	for _, name := range gotNames {
 		if _, ok := want[name]; !ok {
 			drift = append(drift, fmt.Sprintf("%s: new benchmark not in the fixture (run -update)", name))
 		}

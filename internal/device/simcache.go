@@ -95,7 +95,7 @@ func (c *SimCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
-	for _, e := range c.m {
+	for _, e := range c.m { //sbwi:unordered pure count; result independent of visit order
 		select {
 		case <-e.done:
 			if e.res != nil {

@@ -1,0 +1,176 @@
+// Package linttest is the test harness for the internal/lint
+// analyzers, modeled on golang.org/x/tools' analysistest but built on
+// the standard library only: a testdata directory holds one package
+// whose files carry `// want "regexp"` comments on the lines where
+// the analyzer must report, and Run asserts the findings match the
+// expectations exactly — no missing, no unexpected.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// expectation is one `// want` assertion.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run type-checks the single package in dir as import path pkgpath,
+// applies the analyzer, and compares the findings with the `// want`
+// comments in the sources.
+func Run(t *testing.T, a *lint.Analyzer, dir, pkgpath string) {
+	t.Helper()
+
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no Go files under %s (%v)", dir, err)
+	}
+	sort.Strings(paths)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", p, err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, err := lint.Check(fset, pkgpath, files, testImporter(t, fset, files), "")
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+	diags := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+
+	wants := parseWants(t, fset, files)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected finding: %s [%s]", posOf(d), d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no finding matched `want %s`", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+func posOf(d lint.Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column)
+}
+
+// claim marks the first unused expectation matching the diagnostic.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// parseWants extracts the `// want "re" ["re" ...]` expectations.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, lit, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted decodes the sequence of double-quoted Go string literals
+// after a want marker.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s: want patterns must be double-quoted strings, got %q", pos, s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		lit, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, s[:end+1], err)
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+// testImporter resolves the testdata package's imports (standard
+// library only) through freshly listed gc export data.
+func testImporter(t *testing.T, fset *token.FileSet, files []*ast.File) types.Importer {
+	t.Helper()
+	seen := map[string]bool{}
+	var paths []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || p == "unsafe" || seen[p] {
+				continue
+			}
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	exports := map[string]string{}
+	if len(paths) > 0 {
+		sort.Strings(paths)
+		args := append([]string{"list", "-e", "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}"}, paths...)
+		out, err := exec.Command("go", args...).Output()
+		if err != nil {
+			t.Fatalf("go list %v: %v", paths, err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+			if path, file, ok := strings.Cut(line, "\t"); ok && file != "" {
+				exports[path] = file
+			}
+		}
+	}
+	return importer.ForCompiler(fset, "gc", lint.ExportLookup(exports, nil))
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MergeFields verifies that every field of a struct with a Merge
+// method is read inside that Merge method. The simulator aggregates
+// per-wave and per-SM statistics exclusively through Merge
+// (sm.Stats, mem.Stats, mem.L2Stats, noc.Stats): a counter added to
+// the struct but forgotten in Merge silently reports 0 in every
+// partitioned or multi-SM run while looking correct single-SM — the
+// exact bug class internal/statcheck probes at runtime, caught here
+// before any test runs and on structs no statcheck test covers.
+//
+// A field deliberately excluded from merging (an identifier, a
+// non-additive snapshot) is waived with `//sbwi:nomerge
+// <justification>` on the field's declaration line.
+//
+// Test fixtures are exempt (_test.go files routinely define
+// deliberately-broken Merge methods to exercise checkers).
+var MergeFields = &Analyzer{
+	Name: "mergefields",
+	Doc: "every field of a struct with a Merge method must be read by that Merge method " +
+		"(suppress per field with //sbwi:nomerge <why>)",
+	Run: runMergeFields,
+}
+
+func runMergeFields(pass *Pass) {
+	// Find Merge method declarations: func (s *T) Merge(o *T) or the
+	// value-receiver equivalents.
+	for _, file := range pass.Files {
+		if pass.isTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Merge" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			recv := derefNamed(sig.Recv().Type())
+			if recv == nil {
+				continue
+			}
+			st, ok := recv.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			if sig.Params().Len() != 1 || derefNamed(sig.Params().At(0).Type()) != recv {
+				continue // not the T-with-T merge shape this check is about
+			}
+			checkMerge(pass, fd, recv, st)
+		}
+	}
+}
+
+// checkMerge reports fields of st that fd's body never selects.
+func checkMerge(pass *Pass, fd *ast.FuncDecl, recv *types.Named, st *types.Struct) {
+	read := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		if f, ok := s.Obj().(*types.Var); ok {
+			read[f] = true
+		}
+		return true
+	})
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "_" || read[f] {
+			continue
+		}
+		// The field's declaration file may differ from the Merge
+		// method's; resolve directives against the field's file.
+		dirs := directivesForPos(pass, f.Pos())
+		if dirs != nil && pass.suppress(dirs, DirNoMerge, f.Pos()) {
+			continue
+		}
+		pass.Reportf(f.Pos(),
+			"field %s.%s is never read by (*%s).Merge — merged aggregates silently drop it (fold it in or annotate //sbwi:nomerge <why>)",
+			recv.Obj().Name(), f.Name(), recv.Obj().Name())
+	}
+}
+
+// directivesForPos scans the file containing pos, or nil if the
+// position is outside this package's files.
+func directivesForPos(pass *Pass, pos token.Pos) *fileDirectives {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return directivesOf(pass.Fset, f)
+		}
+	}
+	return nil
+}
+
+func derefNamed(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

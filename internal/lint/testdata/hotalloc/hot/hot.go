@@ -1,0 +1,74 @@
+// Package hot is the hotalloc corpus. The step function is the true
+// positive the runtime allocation test misses: TestSteadyStateZeroAllocs
+// pins one workload, so an allocation on a branch that workload never
+// takes (here: every construct below) ships silently.
+package hot
+
+import "fmt"
+
+// Sink keeps boxed values alive.
+var Sink any
+
+// Consume takes an interface argument.
+func Consume(v any) {}
+
+// step is annotated as hot: every allocating construct is flagged.
+//
+//sbwi:hotpath
+func step(xs []int, s string, n int) []int {
+	buf := make([]int, n) // want "make allocates"
+	_ = buf
+	p := new(int) // want "new may heap-allocate"
+	_ = p
+	lit := []int{1, 2, 3} // want "slice literal allocates"
+	_ = lit
+	table := map[string]int{"a": 1} // want "map literal allocates"
+	_ = table
+	xs = append(xs, n)            // want "append may grow"
+	msg := fmt.Sprintf("n=%d", n) // want "fmt.Sprintf allocates"
+	msg += s                      // want "string concatenation allocates"
+	b := []byte(s)                // want "conversion allocates"
+	_ = b
+	Sink = n            // want "boxed into"
+	Consume(n)          // want "boxed into"
+	go helper(n)        // want "go statement allocates"
+	f := func() { n++ } // want "captures"
+	f()
+	return xs
+}
+
+// boxedReturn returns a concrete value through an interface result:
+// flagged.
+//
+//sbwi:hotpath
+func boxedReturn(n int) any {
+	return n // want "boxed into"
+}
+
+// stepClean shows the allowed shapes: scratch-buffer append with a
+// justified waiver, a non-capturing closure, and plain arithmetic.
+//
+//sbwi:hotpath
+func stepClean(xs []int, n int) int {
+	xs = append(xs, n) //sbwi:alloc-ok fills a scratch buffer preallocated by the caller
+	double := func(v int) int { return 2 * v }
+	return double(xs[0]) + n
+}
+
+// stepBare carries a justification-free waiver: the waiver itself is
+// reported.
+//
+//sbwi:hotpath
+func stepBare(xs []int, n int) []int {
+	//sbwi:alloc-ok
+	return append(xs, n) // want "needs a one-line justification"
+}
+
+// cold is not annotated: the same constructs pass without comment.
+func cold(n int) []int {
+	buf := make([]int, n)
+	Sink = buf
+	return append(buf, n)
+}
+
+func helper(int) {}

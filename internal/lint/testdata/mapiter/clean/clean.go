@@ -1,0 +1,12 @@
+// Package other is loaded under a non-critical import path: map
+// iteration is not the analyzer's business here.
+package other
+
+// Sum may range the map freely.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

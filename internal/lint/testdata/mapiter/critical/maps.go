@@ -1,0 +1,83 @@
+// Package sm is the mapiter corpus. The test loads it under an import
+// path ending in internal/sm, so the analyzer treats it as
+// determinism-critical. The Report function is the class of true
+// positive the runtime determinism suites cannot catch: the iteration
+// sits on a diagnostic path no golden-stats test exercises, yet its
+// order would leak into user-visible output.
+package sm
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Counters is a named map type; iteration over it is flagged too.
+type Counters map[string]int
+
+// Sum ranges a plain map with no waiver: flagged.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+// SumNamed ranges a named map type: flagged.
+func SumNamed(c Counters) int {
+	total := 0
+	for _, v := range c { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+// Report builds an error report by walking a map: flagged — the
+// runtime suites never diff this string, but users would see it
+// reorder between runs.
+func Report(failed map[string]error) string {
+	out := ""
+	for name, err := range failed { // want "range over map"
+		out += name + ": " + err.Error() + "\n"
+	}
+	return out
+}
+
+// SumJustified carries a justification: suppressed.
+func SumJustified(m map[string]int) int {
+	total := 0
+	for _, v := range m { //sbwi:unordered addition is commutative
+		total += v
+	}
+	return total
+}
+
+// SumBare has a justification-free waiver: the waiver itself is
+// reported instead of silently suppressing.
+func SumBare(m map[string]int) int {
+	total := 0
+	//sbwi:unordered
+	for _, v := range m { // want "needs a one-line justification"
+		total += v
+	}
+	return total
+}
+
+// Keys is the sorted-iteration pattern the analyzer pushes toward.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //sbwi:unordered keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SumSlice iterates a slice: ordered, fine.
+func SumSlice(s []int) string {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return strconv.Itoa(total)
+}

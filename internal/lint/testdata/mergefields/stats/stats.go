@@ -1,0 +1,61 @@
+// Package stats is the mergefields corpus. The Dropped field is the
+// true positive runtime tests miss: a single-SM run reports it
+// correctly, and only a merged multi-SM aggregate — compared against
+// nothing — silently zeroes it.
+package stats
+
+// Sub is a nested aggregate with a complete Merge: clean.
+type Sub struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Merge folds o into s.
+func (s *Sub) Merge(o *Sub) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+}
+
+// Stats drops a field in its Merge: flagged at the field.
+type Stats struct {
+	Cycles int64
+	Peak   int
+
+	Dropped uint64 // want "never read by"
+
+	// ID names the originating run; folding two IDs together would be
+	// meaningless, so it carries a waiver.
+	ID string //sbwi:nomerge identifier of the first shard, not an aggregate
+
+	Sub Sub
+}
+
+// Merge folds o into s but forgets Dropped.
+func (s *Stats) Merge(o *Stats) {
+	s.Cycles += o.Cycles
+	if o.Peak > s.Peak {
+		s.Peak = o.Peak
+	}
+	s.Sub.Merge(&o.Sub)
+}
+
+// Gauge has a value-receiver Merge: same contract applies.
+type Gauge struct {
+	Max  int
+	Name string // want "never read by"
+}
+
+// Merge keeps the larger reading.
+func (g Gauge) Merge(o Gauge) Gauge {
+	if o.Max > g.Max {
+		g.Max = o.Max
+	}
+	return g
+}
+
+// Other has a Merge whose signature is not the aggregate shape
+// (parameter is not the receiver type): ignored.
+type Other struct{ N int }
+
+// Merge here is an unrelated accumulator API.
+func (x *Other) Merge(delta int) { x.N += delta }

@@ -1,0 +1,47 @@
+// Package device is the walltime corpus; the test loads it under an
+// import path ending in internal/device, a simulation-core package.
+// The Estimate function is the true positive the runtime suites miss:
+// a wall-clock-derived cost estimate produces plausible, test-passing
+// numbers that silently differ between two identical submissions.
+package device
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Estimate derives a cost from the wall clock: flagged.
+func Estimate() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// Elapsed measures wall time: flagged.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// Backoff sleeps on the wall clock: flagged.
+func Backoff() {
+	time.Sleep(time.Millisecond) // want "time.Sleep blocks on the wall clock"
+}
+
+// Jitter draws from the process-global source (randomly seeded since
+// Go 1.20): flagged.
+func Jitter() int {
+	return rand.Intn(4) // want "math/rand.Intn draws from the process-global source"
+}
+
+// SeededDraw uses an explicitly seeded private source: deterministic,
+// fine.
+func SeededDraw() int {
+	return rand.New(rand.NewSource(42)).Intn(4)
+}
+
+// Profiled is waived: the reading feeds a profiling hook, not modeled
+// state.
+func Profiled() int64 {
+	return time.Now().UnixNano() //sbwi:wallclock-ok profiling hook; never reaches modeled cycles
+}
+
+// Budget does duration arithmetic without reading a clock: fine.
+func Budget(d time.Duration) time.Duration { return 2 * d }

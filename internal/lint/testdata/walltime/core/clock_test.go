@@ -1,0 +1,8 @@
+// Benchmarks and test plumbing legitimately read the wall clock:
+// _test.go files are exempt from walltime.
+package device
+
+import "time"
+
+// Timestamp would be flagged in a non-test file.
+func Timestamp() int64 { return time.Now().UnixNano() }

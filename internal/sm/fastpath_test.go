@@ -2,6 +2,7 @@ package sm
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/kernels"
@@ -65,7 +66,13 @@ func TestFastPathEquivalence(t *testing.T) {
 		subset[b.Name] = b
 	}
 
-	for _, b := range subset {
+	names := make([]string, 0, len(subset))
+	for name := range subset { //sbwi:unordered names are sorted before use
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := subset[name]
 		for _, a := range Architectures() {
 			b, a := b, a
 			t.Run(b.Name+"/"+a.String(), func(t *testing.T) {
@@ -100,13 +107,16 @@ func TestFastPathEquivalenceVariants(t *testing.T) {
 	noCons := Configure(ArchSBI)
 	noCons.Constraints = false
 
-	for name, cfg := range map[string]Config{
-		"swi-assoc3":        assoc3,
-		"sbiswi-direct":     direct,
-		"sbiswi-memsplit":   split,
-		"sbi-unconstrained": noCons,
+	for _, c := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"swi-assoc3", assoc3},
+		{"sbiswi-direct", direct},
+		{"sbiswi-memsplit", split},
+		{"sbi-unconstrained", noCons},
 	} {
-		name, cfg := name, cfg
+		name, cfg := c.name, c.cfg
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			runPair(t, cfg, bfs)

@@ -13,6 +13,8 @@ import (
 // SplitOnMemDivergence is enabled — the DWS-style hit/miss warp split.
 // Transaction bookkeeping lives in per-SM scratch buffers (txnBuf,
 // txnReady) so the path allocates nothing.
+//
+//sbwi:hotpath
 func (s *SM) execMem(c *candidate) error {
 	w, ins := c.w, c.ins
 
@@ -31,7 +33,7 @@ func (s *SM) execMem(c *candidate) error {
 		t := bits.TrailingZeros64(m)
 		addrs[t] = exec.EffAddr(ins, &w.regs[t])
 	}
-	apply := func(mask uint64) error {
+	apply := func(mask uint64) error { //sbwi:alloc-ok non-escaping; called directly in this frame (zero-alloc test pins it)
 		for m := mask; m != 0; m &= m - 1 {
 			t := bits.TrailingZeros64(m)
 			r := &w.regs[t]
@@ -102,7 +104,7 @@ func (s *SM) execMem(c *candidate) error {
 	maxReady := int64(0)
 	for _, b := range txnBlocks {
 		r := s.hier.Load(s.now, b)
-		ready = append(ready, r)
+		ready = append(ready, r) //sbwi:alloc-ok fills s.txnReady scratch; cap reaches steady state after warm-up
 		if r > maxReady {
 			maxReady = r
 		}
@@ -135,7 +137,7 @@ func (s *SM) execMem(c *candidate) error {
 			}
 			s.stats.MemSplits++
 			s.sb.Issue(w.id, ins, c.slot, hitMask, hitReady)
-			s.mutateHeap(w, func() { w.heap.Diverge(c.pc, c.pc+1, c.pc, hitMask, s.now) })
+			s.mutateHeap(w, func() { w.heap.Diverge(c.pc, c.pc+1, c.pc, hitMask, s.now) }) //sbwi:alloc-ok non-escaping argument to mutateHeap
 			return nil
 		}
 	}
@@ -151,6 +153,8 @@ func (s *SM) execMem(c *candidate) error {
 // txnReadyOf returns the data-return cycle of the transaction covering
 // block (the coalescer guarantees every active lane's block is in the
 // list, so the scan always finds it).
+//
+//sbwi:hotpath
 func txnReadyOf(blocks []uint32, ready []int64, block uint32) int64 {
 	for i, b := range blocks {
 		if b == block {

@@ -44,6 +44,8 @@ func (b warpBits) clear(i int) { b[i>>6] &^= 1 << uint(i&63) }
 // its primary front-end slot. Everything the checks read — block
 // residency, barrier state, the warp's own heap or stack — is local to
 // the warp, so refreshing on the warp's own events suffices.
+//
+//sbwi:hotpath
 func (s *SM) refreshWarp(w *warp) {
 	if w.block != nil && !w.deadCounted && w.done() {
 		// First observation of the warp's completion: fold it into the
@@ -100,6 +102,8 @@ const negInf = math.MinInt64 / 4
 // incremented, and jumps s.now there. When nothing can ever wake
 // (no schedulable candidate exists and no issue will create one), it
 // reproduces the reference loop's livelock abort at the cycle limit.
+//
+//sbwi:hotpath
 func (s *SM) fastForward(maxCycles int64) error {
 	d := s.cfg.IssueDelay
 	qf := s.now - d - 1 // scoreboard entries written back by qf are dead for the whole span
@@ -150,7 +154,7 @@ func (s *SM) fastForward(maxCycles int64) error {
 			if swi {
 				residue = int64(s.memberOf[id])
 			}
-			cands = append(cands, idleCand{hazT: hazT, structT: structT, stallT: stallT, wake: wakeC, residue: residue})
+			cands = append(cands, idleCand{hazT: hazT, structT: structT, stallT: stallT, wake: wakeC, residue: residue}) //sbwi:alloc-ok fills s.idleBuf scratch; cap reaches steady state after warm-up
 			if wakeC < wake {
 				wake = wakeC
 			}
@@ -180,6 +184,8 @@ func (s *SM) fastForward(maxCycles int64) error {
 // once, and — on the SWI architectures, with no primary found — the
 // substitute secondary probes the candidates of buddy set (cycle mod
 // numSets) a second time.
+//
+//sbwi:hotpath
 func (s *SM) accountIdle(cands []idleCand, a, b int64, numSets int64) {
 	st := &s.sb.Stats
 	for i := range cands {
@@ -201,6 +207,8 @@ func (s *SM) accountIdle(cands []idleCand, a, b int64, numSets int64) {
 }
 
 // count returns the number of integers in [lo, hi] (0 when empty).
+//
+//sbwi:hotpath
 func count(lo, hi int64) uint64 {
 	if hi < lo {
 		return 0
@@ -210,6 +218,8 @@ func count(lo, hi int64) uint64 {
 
 // countResidue returns the number of integers t in [lo, hi] with
 // t mod m == r (lo >= 0, 0 <= r < m).
+//
+//sbwi:hotpath
 func countResidue(lo, hi, r, m int64) uint64 {
 	if hi < lo {
 		return 0

@@ -301,6 +301,8 @@ func (s *SM) run(ctx context.Context) error {
 // cycle issued nothing — the idle-span fast-forward. It reports whether
 // the sub-range has completed. Exposed inside the package so tests can
 // drive and measure the hot loop directly.
+//
+//sbwi:hotpath
 func (s *SM) step(maxCycles int64) (bool, error) {
 	s.retireBlocks()
 	s.launchBlocks()
@@ -369,6 +371,8 @@ func (s *SM) foldWarpStats(w *warp) {
 
 // done reports whether every CTA of the sub-range has been run to
 // completion.
+//
+//sbwi:hotpath
 func (s *SM) done() bool {
 	return s.nextCTA >= s.ctaEnd && len(s.blocks) == 0
 }
@@ -399,11 +403,13 @@ func (s *SM) dumpState() string {
 }
 
 // retireBlocks frees the warps of completed blocks.
+//
+//sbwi:hotpath
 func (s *SM) retireBlocks() {
 	out := s.blocks[:0]
 	for _, b := range s.blocks {
 		if b.live > 0 {
-			out = append(out, b)
+			out = append(out, b) //sbwi:alloc-ok compacts live blocks in place into s.blocks[:0]
 			continue
 		}
 		for _, w := range b.warps {
@@ -417,13 +423,15 @@ func (s *SM) retireBlocks() {
 }
 
 // launchBlocks assigns pending CTAs to free warp contexts.
+//
+//sbwi:hotpath
 func (s *SM) launchBlocks() {
 	warpsPerBlock := (s.launch.BlockDim + s.cfg.WarpWidth - 1) / s.cfg.WarpWidth
 	for s.nextCTA < s.ctaEnd {
 		free := s.freeBuf[:0]
 		for _, w := range s.warps {
 			if w.block == nil {
-				free = append(free, w)
+				free = append(free, w) //sbwi:alloc-ok fills s.freeBuf scratch sized to the warp contexts
 				if len(free) == warpsPerBlock {
 					break
 				}
@@ -493,6 +501,8 @@ func (s *SM) startBlock(cta int, ws []*warp) {
 }
 
 // releaseBarriers opens block barriers once every live warp arrived.
+//
+//sbwi:hotpath
 func (s *SM) releaseBarriers() {
 	for _, b := range s.blocks {
 		if !b.barrierReady() {
@@ -506,7 +516,7 @@ func (s *SM) releaseBarriers() {
 			if w.heap != nil {
 				if c := w.heap.Slot(0); c != nil {
 					next := c.PC + 1
-					s.mutateHeap(w, func() { w.heap.Advance(0, next, s.now) })
+					s.mutateHeap(w, func() { w.heap.Advance(0, next, s.now) }) //sbwi:alloc-ok non-escaping argument to mutateHeap
 				}
 			} else {
 				w.stack.Advance()
@@ -522,6 +532,8 @@ func (s *SM) releaseBarriers() {
 // mutation is equivalent to the hardware's one matrix per cycle, and
 // keeps the rows consistent with slot numbering for intra-cycle
 // secondary scheduling.
+//
+//sbwi:hotpath
 func (s *SM) mutateHeap(w *warp, f func()) {
 	if s.sb.Mode() != sched.DepMatrix {
 		f()
@@ -537,6 +549,8 @@ func (s *SM) mutateHeap(w *warp, f func()) {
 // fills the gap per §3/§4. It reports whether anything issued — when
 // nothing did, every scheduler-visible input is frozen until the next
 // wake-up event and the caller may fast-forward.
+//
+//sbwi:hotpath
 func (s *SM) cycle() (bool, error) {
 	var prim candidate
 	if s.cfg.Arch == ArchBaseline {
@@ -627,6 +641,8 @@ const (
 // warp: the minimal-PC context, falling through to the next one when it
 // is architecturally suspended (parked at a partial barrier or waiting
 // on a selective synchronization barrier).
+//
+//sbwi:hotpath
 func (s *SM) primarySlot(w *warp) int {
 	if w.heap == nil {
 		return 0
@@ -644,6 +660,8 @@ func (s *SM) primarySlot(w *warp) int {
 // rescans every warp context. Both probe the same candidates in the
 // same (ascending warp) order, so scoreboard counters and tie-breaking
 // draws are identical.
+//
+//sbwi:hotpath
 func (s *SM) selectPrimary(pool int, out *candidate) bool {
 	if s.cfg.ReferenceLoop {
 		return s.selectPrimaryRef(pool, out)
@@ -697,6 +715,8 @@ func (s *SM) selectPrimaryRef(pool int, out *candidate) bool {
 }
 
 // lastIssueOf returns the age key used for oldest-first selection.
+//
+//sbwi:hotpath
 func (s *SM) lastIssueOf(w *warp, slot int) int64 {
 	if w.heap != nil {
 		if c := w.heap.Slot(slot); c != nil {
@@ -710,6 +730,8 @@ func (s *SM) lastIssueOf(w *warp, slot int) int64 {
 // the cached eligibility already holds, leaving only the per-cycle
 // checks — the once-per-cycle issue guard, the scoreboard query and the
 // unit capacity.
+//
+//sbwi:hotpath
 func (s *SM) probe(w *warp, slot int, out *candidate) bool {
 	var pc int
 	var mask uint64
@@ -756,6 +778,8 @@ func (s *SM) eligibleRef(w *warp, slot int, out *candidate) bool {
 
 // finishCandidate applies the scoreboard and unit checks shared by all
 // schedulers, filling out on success.
+//
+//sbwi:hotpath
 func (s *SM) finishCandidate(w *warp, slot int, pc int, mask uint64, out *candidate) bool {
 	ins := s.prog.At(pc)
 	qnow := s.now - s.cfg.IssueDelay
@@ -775,6 +799,8 @@ func (s *SM) finishCandidate(w *warp, slot int, pc int, mask uint64, out *candid
 // memory-divergence splitting is enabled. The HCT sorter accepts at
 // most one new split per warp per cycle (§3.4), so two such
 // instructions of one warp must not co-issue.
+//
+//sbwi:hotpath
 func (s *SM) divergenceCapable(ins *isa.Instruction) bool {
 	return ins.Conditional() || (s.cfg.SplitOnMemDivergence && ins.Op == isa.OpLdG)
 }
@@ -786,6 +812,8 @@ func (s *SM) divergenceCapable(ins *isa.Instruction) bool {
 // second front-end — including the SYNC a waiting split must execute
 // to evaluate its selective barrier — except that two
 // divergence-capable instructions of one warp cannot share a cycle.
+//
+//sbwi:hotpath
 func (s *SM) sbiCandidate(w *warp, pc int, mask uint64, primDiverges bool, out *candidate) bool {
 	if w.heap == nil || w.atBarrier {
 		return false
@@ -810,6 +838,8 @@ func (s *SM) sbiCandidate(w *warp, pc int, mask uint64, primDiverges bool, out *
 // just-issued primary split when it targets a different unit group and
 // its dependencies (including on the primary instruction itself, whose
 // scoreboard entry is already visible) allow.
+//
+//sbwi:hotpath
 func (s *SM) seqCandidate(w *warp, primIns *isa.Instruction, primPC int, primMask uint64, out *candidate) bool {
 	if w.heap == nil || w.atBarrier || primIns.Op.Unit() == isa.UnitCTRL {
 		return false
@@ -848,6 +878,8 @@ func (s *SM) seqCandidate(w *warp, primIns *isa.Instruction, primPC int, primMas
 // break pseudo-randomly. Fast and reference paths visit the set in the
 // same ascending-warp order, so the tie list — and therefore the PRNG
 // draw sequence — is identical.
+//
+//sbwi:hotpath
 func (s *SM) swiSecondary(setIdx int, exclude *warp, primUnit isa.Unit, primLane uint64, out *candidate) bool {
 	ties := s.swiTies[:0]
 	bestFit := -1
@@ -872,9 +904,9 @@ func (s *SM) swiSecondary(setIdx int, exclude *warp, primUnit isa.Unit, primLane
 			}
 			switch {
 			case fit > bestFit:
-				ties, bestFit = append(ties[:0], cur), fit
+				ties, bestFit = append(ties[:0], cur), fit //sbwi:alloc-ok reuses s.swiTies scratch
 			case fit == bestFit:
-				ties = append(ties, cur)
+				ties = append(ties, cur) //sbwi:alloc-ok reuses s.swiTies scratch
 			}
 		}
 	} else {
@@ -898,9 +930,9 @@ func (s *SM) swiSecondary(setIdx int, exclude *warp, primUnit isa.Unit, primLane
 				}
 				switch {
 				case fit > bestFit:
-					ties, bestFit = append(ties[:0], cur), fit
+					ties, bestFit = append(ties[:0], cur), fit //sbwi:alloc-ok reuses s.swiTies scratch
 				case fit == bestFit:
-					ties = append(ties, cur)
+					ties = append(ties, cur) //sbwi:alloc-ok reuses s.swiTies scratch
 				}
 			}
 		}
@@ -921,6 +953,8 @@ func (s *SM) swiSecondary(setIdx int, exclude *warp, primUnit isa.Unit, primLane
 // candidate — the MAD-row lane-collision filter happens before the
 // scoreboard probe, exactly as in hardware (and so before the
 // scoreboard counters tick) — and returns its lane fit.
+//
+//sbwi:hotpath
 func (s *SM) swiProbe(w *warp, slot, pc int, mask uint64, primUnit isa.Unit, primLane uint64, out *candidate) (int, bool) {
 	ins := s.prog.At(pc)
 	unit := ins.Op.Unit()
@@ -937,6 +971,8 @@ func (s *SM) swiProbe(w *warp, slot, pc int, mask uint64, primUnit isa.Unit, pri
 // issue commits a candidate: functional execution, timing bookkeeping,
 // and control-state mutation. The warp's cached schedulability is
 // refreshed afterwards — issuing is one of the events that change it.
+//
+//sbwi:hotpath
 func (s *SM) issue(c *candidate, secondary bool, p prov) error {
 	w, ins := c.w, c.ins
 	active := popcount(c.mask)
@@ -991,12 +1027,15 @@ func (s *SM) issue(c *candidate, secondary bool, p prov) error {
 	return err
 }
 
+//sbwi:hotpath
 func (s *SM) countInstr(ins *isa.Instruction, active int) {
 	s.stats.ThreadInstrs += uint64(active)
 	s.stats.UnitThreadInstrs[ins.Op.Unit()] += uint64(active)
 }
 
 // markIssued stamps the split's issue guard.
+//
+//sbwi:hotpath
 func (s *SM) markIssued(w *warp, slot int) {
 	if w.heap != nil {
 		if c := w.heap.Slot(slot); c != nil {
@@ -1008,9 +1047,11 @@ func (s *SM) markIssued(w *warp, slot int) {
 }
 
 // advance moves the candidate's split to nextPC.
+//
+//sbwi:hotpath
 func (s *SM) advance(c *candidate, nextPC int) {
 	if c.w.heap != nil {
-		s.mutateHeap(c.w, func() { c.w.heap.Advance(c.slot, nextPC, s.now) })
+		s.mutateHeap(c.w, func() { c.w.heap.Advance(c.slot, nextPC, s.now) }) //sbwi:alloc-ok non-escaping argument to mutateHeap
 		return
 	}
 	if nextPC == c.pc+1 {
@@ -1022,6 +1063,8 @@ func (s *SM) advance(c *candidate, nextPC int) {
 
 // execALU evaluates a MAD- or SFU-class instruction for the active
 // threads and schedules its writeback.
+//
+//sbwi:hotpath
 func (s *SM) execALU(c *candidate) {
 	w, ins := c.w, c.ins
 	for m := c.mask; m != 0; m &= m - 1 {
@@ -1034,6 +1077,8 @@ func (s *SM) execALU(c *candidate) {
 
 // execBranch resolves a branch; a divergent outcome is the cycle's
 // single warp-split creation event.
+//
+//sbwi:hotpath
 func (s *SM) execBranch(c *candidate) {
 	w, ins := c.w, c.ins
 	if ins.SrcA == isa.RegNone {
@@ -1055,7 +1100,7 @@ func (s *SM) execBranch(c *candidate) {
 	default:
 		s.stats.Divergences++
 		if w.heap != nil {
-			s.mutateHeap(w, func() { w.heap.Diverge(c.pc, ins.Target, c.pc+1, taken, s.now) })
+			s.mutateHeap(w, func() { w.heap.Diverge(c.pc, ins.Target, c.pc+1, taken, s.now) }) //sbwi:alloc-ok non-escaping argument to mutateHeap
 		} else {
 			w.stack.Diverge(c.pc, ins.Target, ins.RecPC, taken)
 		}
@@ -1063,6 +1108,8 @@ func (s *SM) execBranch(c *candidate) {
 }
 
 // execSync applies the selective synchronization barrier (§3.3).
+//
+//sbwi:hotpath
 func (s *SM) execSync(c *candidate) {
 	w := c.w
 	if w.heap != nil && s.cfg.Constraints && w.heap.SyncBlockedAt(c.slot, c.ins.Target) {
@@ -1074,9 +1121,11 @@ func (s *SM) execSync(c *candidate) {
 }
 
 // execExit retires the split's threads.
+//
+//sbwi:hotpath
 func (s *SM) execExit(c *candidate) {
 	if c.w.heap != nil {
-		s.mutateHeap(c.w, func() { c.w.heap.Exit(c.slot, s.now) })
+		s.mutateHeap(c.w, func() { c.w.heap.Exit(c.slot, s.now) }) //sbwi:alloc-ok non-escaping argument to mutateHeap
 		return
 	}
 	c.w.stack.Exit(c.mask)
@@ -1086,6 +1135,8 @@ func (s *SM) execExit(c *candidate) {
 // rendezvous; a partial split parks until reconvergence completes it
 // (only possible under the heap model — the stack guarantees
 // reconvergence before the barrier for structured code).
+//
+//sbwi:hotpath
 func (s *SM) execBar(c *candidate) error {
 	w := c.w
 	s.stats.BarrierWaits++
@@ -1099,7 +1150,7 @@ func (s *SM) execBar(c *candidate) error {
 		return nil
 	}
 	if alive := w.stack.Alive(); c.mask != alive {
-		return fmt.Errorf("sm: %s: pc %d: divergent barrier (mask %#x, alive %#x)",
+		return fmt.Errorf("sm: %s: pc %d: divergent barrier (mask %#x, alive %#x)", //sbwi:alloc-ok cold path: a divergent barrier aborts the run
 			s.prog.Name, c.pc, c.mask, alive)
 	}
 	w.atBarrier = true

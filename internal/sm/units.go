@@ -30,6 +30,8 @@ func newUnits(cfg *Config) *units {
 
 // sfuWaves returns the SFU occupancy in cycles for a lane mask: the
 // number of SFU-width lane groups containing at least one active lane.
+//
+//sbwi:hotpath
 func (u *units) sfuWaves(laneMask uint64) int64 {
 	waves := int64(0)
 	per := uint(u.cfg.SFUWidth)
@@ -47,6 +49,8 @@ func (u *units) sfuWaves(laneMask uint64) int64 {
 // canIssue reports whether an instruction of the given unit class with
 // laneMask can start at cycle now, considering already-issued
 // instructions this cycle.
+//
+//sbwi:hotpath
 func (u *units) canIssue(unit isa.Unit, laneMask uint64, now int64) bool {
 	switch unit {
 	case isa.UnitCTRL:
@@ -68,6 +72,8 @@ func (u *units) canIssue(unit isa.Unit, laneMask uint64, now int64) bool {
 
 // issue reserves the unit. For the LSU the caller reserves separately
 // via issueLSU once the transaction count is known.
+//
+//sbwi:hotpath
 func (u *units) issue(unit isa.Unit, laneMask uint64, now int64) {
 	switch unit {
 	case isa.UnitCTRL:
@@ -98,6 +104,8 @@ func (u *units) issue(unit isa.Unit, laneMask uint64, now int64) {
 // before then (the idle-span invariant: nothing issues, so same-cycle
 // MAD row sharing — which needs an issue in that very cycle — cannot
 // open the row early).
+//
+//sbwi:hotpath
 func (u *units) freeAt(unit isa.Unit) int64 {
 	switch unit {
 	case isa.UnitCTRL:
@@ -118,6 +126,8 @@ func (u *units) freeAt(unit isa.Unit) int64 {
 }
 
 // issueLSU reserves the load-store unit for txns transactions.
+//
+//sbwi:hotpath
 func (u *units) issueLSU(txns int64, now int64) {
 	if txns < 1 {
 		txns = 1
@@ -128,6 +138,8 @@ func (u *units) issueLSU(txns int64, now int64) {
 // lsuWaves returns the number of LSU-width thread groups of a warp with
 // at least one active thread (waves are formed in thread order, since
 // the LSU coalesces by thread addresses).
+//
+//sbwi:hotpath
 func (u *units) lsuWaves(mask uint64) int {
 	waves := 0
 	per := uint(u.cfg.LSUWidth)

@@ -67,6 +67,8 @@ type warp struct {
 
 // done reports whether all of the warp's threads exited (an unallocated
 // warp is done).
+//
+//sbwi:hotpath
 func (w *warp) done() bool {
 	switch {
 	case w.block == nil:
@@ -79,6 +81,8 @@ func (w *warp) done() bool {
 }
 
 // laneMask transposes a thread mask into lane space.
+//
+//sbwi:hotpath
 func (w *warp) laneMask(mask uint64) uint64 {
 	if w.identity {
 		return mask
