@@ -46,8 +46,9 @@ func BenchmarkFig7aRegular(b *testing.B) {
 	}
 }
 
-// BenchmarkFig7bIrregular regenerates figure 7(b): IPC of the eleven
-// irregular applications (paper: SBI +41%, SWI +33%, both +40%; TMD
+// BenchmarkFig7bIrregular regenerates figure 7(b): IPC of the
+// irregular applications — the paper's eleven plus the synthetic
+// WriteStorm anchor (paper: SBI +41%, SWI +33%, both +40%; TMD
 // excluded from the means).
 func BenchmarkFig7bIrregular(b *testing.B) {
 	for i := 0; i < b.N; i++ {

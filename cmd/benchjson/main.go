@@ -12,10 +12,18 @@
 // archiving them. Benchmarks present on only one side are reported but
 // never fail the comparison (axes come and go across PRs).
 //
+// Baselines record the host they were measured on (CPU count and
+// GOMAXPROCS). When the comparing host's core count differs from the
+// baseline's, the worker-scaling axes — benchmarks whose names contain
+// "parallel" — are skipped with a warning instead of gated: their
+// ns/op measures how the worker pool maps onto the host's cores, so a
+// 1-core baseline read on an 8-core runner would flag a phantom
+// regression (or mask a real one) on every parallel axis.
+//
 // Usage:
 //
-//	go run ./cmd/benchjson -bench SuiteRunner -count 6 -o BENCH_PR4.json .
-//	go run ./cmd/benchjson -bench SuiteRunner -compare BENCH_PR4.json -max-regress 10 .
+//	go run ./cmd/benchjson -bench SuiteRunner -count 6 -o BENCH_PR7.json .
+//	go run ./cmd/benchjson -bench SuiteRunner -compare BENCH_PR7.json -max-regress 10 .
 //	go run ./cmd/benchjson -bench CycleLoop ./internal/sm
 package main
 
@@ -31,6 +39,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Entry is one benchmark's summarized result.
@@ -41,11 +50,17 @@ type Entry struct {
 	Samples     int     `json:"samples"`
 }
 
-// Report is the file layout of BENCH_*.json.
+// Report is the file layout of BENCH_*.json. NumCPU and GOMAXPROCS
+// pin the host the numbers were measured on; -compare uses them to
+// decide whether worker-scaling axes are comparable at all (zero in a
+// baseline means a pre-PR7 file recorded before the fields existed,
+// treated as an unknown — and therefore mismatched — host).
 type Report struct {
 	GoVersion  string           `json:"go_version"`
 	GOOS       string           `json:"goos"`
 	GOARCH     string           `json:"goarch"`
+	NumCPU     int              `json:"num_cpu,omitempty"`
+	GOMAXPROCS int              `json:"gomaxprocs,omitempty"`
 	Bench      string           `json:"bench"`
 	Count      int              `json:"count"`
 	Benchmarks map[string]Entry `json:"benchmarks"`
@@ -106,6 +121,8 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Bench:      *bench,
 		Count:      *count,
 		Benchmarks: make(map[string]Entry, len(samples)),
@@ -155,6 +172,17 @@ func compareBaseline(rep *Report, path string, maxRegress float64) bool {
 		return false
 	}
 
+	// Worker-scaling axes only compare across hosts with the same core
+	// count: their ns/op is a property of the pool-to-core mapping, not
+	// of the code alone. A baseline without the host fields (pre-PR7)
+	// counts as an unknown, mismatched host.
+	hostMatch := base.NumCPU == rep.NumCPU && base.GOMAXPROCS == rep.GOMAXPROCS
+	if !hostMatch {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: warning: baseline host (%d CPUs, GOMAXPROCS %d) differs from this host (%d, %d); skipping worker-scaling (\"parallel\") axes\n",
+			base.NumCPU, base.GOMAXPROCS, rep.NumCPU, rep.GOMAXPROCS)
+	}
+
 	names := make([]string, 0, len(rep.Benchmarks))
 	for name := range rep.Benchmarks {
 		names = append(names, name)
@@ -168,6 +196,11 @@ func compareBaseline(rep *Report, path string, maxRegress float64) bool {
 		want, in := base.Benchmarks[name]
 		if !in {
 			fmt.Printf("  %-50s %12.0f ns/op  (new, no baseline)\n", name, got.NsPerOp)
+			continue
+		}
+		if !hostMatch && strings.Contains(name, "parallel") {
+			fmt.Printf("  %-50s %12.0f -> %12.0f ns/op  skipped (host core count differs)\n",
+				name, want.NsPerOp, got.NsPerOp)
 			continue
 		}
 		delta := 100 * (got.NsPerOp - want.NsPerOp) / want.NsPerOp

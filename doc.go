@@ -23,8 +23,9 @@
 // barriers, a functional reference simulator, a cycle-level SM pipeline
 // model with five architectures (Baseline, SBI, SWI, SBI+SWI, and the
 // 64-wide thread-frontier reference), the paper's 21-kernel benchmark
-// suite with bit-exact Go oracles, and an experiment harness that
-// regenerates every table and figure of the evaluation.
+// suite with bit-exact Go oracles (plus one synthetic store-saturation
+// microbenchmark), and an experiment harness that regenerates every
+// table and figure of the evaluation.
 //
 // # Quick start
 //
@@ -65,10 +66,12 @@
 //     so regenerating the paper's figures fans out across cores.
 //
 // Results are deterministic by construction: merged statistics are
-// bit-identical for every SM and worker count, and grid partitioning
-// asserts the launch write-sharing contract (CTAs may only write the
-// same global location with the same value) instead of letting
-// scheduling order pick a winner.
+// bit-identical for every SM and worker count under the default flat
+// memory model (with the modeled hierarchy they stay worker-count- and
+// repeat-run-stable but depend on the SM count; see Memory hierarchy),
+// and grid partitioning asserts the launch write-sharing contract
+// (CTAs may only write the same global location with the same value)
+// instead of letting scheduling order pick a winner.
 //
 // # Streams: asynchronous launches
 //
@@ -163,19 +166,24 @@
 //
 // where the crossbar charges per-port queueing and traversal latency
 // (NoCConfig), and the L2 is set-associative, banked and MSHR-backed
-// (L2Config) in front of the single shared DRAM port. Unpartitioned
-// runs time every L1 miss through that path inline; partitioned runs
-// replay all CTA waves' miss streams through one shared L2, so
-// Result.DeviceCycles reflects cross-SM contention — it grows as
-// interconnect ports narrow or more SMs share the L2 — while merged
-// statistics (including the Stats.Mem.L2 and Stats.Mem.NoC counters)
-// stay bit-identical for every SM and worker count. Result.NoCPorts
-// additionally breaks the interconnect counters down per SM port under
-// the device-time packing (like Result.SMCycles, it legitimately
-// varies with the SM count). Both options are off by default, which
-// keeps default runs cycle-exact with the seed reproduction; the
-// "memory-hierarchy" experiment sweeps the port bandwidth on the
-// bandwidth-bound suite kernels and reports the per-SM queueing skew.
+// (L2Config) in front of the single shared DRAM port. Every run times
+// that path inline: L1 misses and write-through stores enter the
+// hierarchy at the cycle they leave their L1 and the returned ready
+// time flows straight back into warp wake-up, so contention shapes
+// issue timing as it happens. Partitioned runs interleave all CTA
+// waves against one shared memory-system clock on a single driving
+// goroutine (wave j on SM j mod N), making Result.DeviceCycles
+// contention-aware — it grows as interconnect ports narrow — and all
+// results (merged statistics, the Stats.Mem.L2 / Stats.Mem.NoC
+// counters, Result.NoCPorts per-SM port breakdowns) bit-identical
+// across host worker counts and repeat runs. They legitimately depend
+// on the SM count, which decides how many waves share the hierarchy at
+// once. Stores occupy a finite L1 write buffer until the L2 drains
+// them, so store-saturated streams exert the same back-pressure as
+// load streams. Both options are off by default, which keeps default
+// runs cycle-exact with the seed reproduction; the "memory-hierarchy"
+// experiment sweeps the port bandwidth on the bandwidth-bound suite
+// kernels and reports the per-SM queueing skew.
 //
 // # Simulation speed
 //
@@ -186,9 +194,10 @@
 // issue are fast-forwarded in one step, and the steady-state issue path
 // performs no heap allocation. None of this changes any number — the
 // modeled cycle count, every statistic and every PRNG tie-break are
-// bit-identical to a naive per-cycle rescan, which is retained behind
-// Config.ReferenceLoop and asserted equivalent by the test suite. See
-// the README's Performance section for how to benchmark and profile.
+// bit-identical to a naive per-cycle rescan, by construction (the
+// incremental walk probes the same candidates in the same order) and
+// pinned by the golden-stats fixture. See the README's Performance
+// section for how to benchmark and profile.
 //
 // # Static analysis
 //

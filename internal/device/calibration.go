@@ -58,6 +58,7 @@ var calibratedCyclesPerThread = map[string]float64{
 	"TMD1":                 11.4116,
 	"TMD2":                 5.3486,
 	"Transpose":            1.2045,
+	"WriteStorm":           1.3281,
 }
 
 // staticCost is the pre-measurement cost estimate: the launch's thread

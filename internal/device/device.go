@@ -35,16 +35,16 @@
 // are then folded back with exec.MergeWaves, which asserts the
 // write-sharing contract (different CTAs may only write the same
 // location with the same value), and the per-wave statistics are merged
-// in wave order with Stats.Merge. Because the wave decomposition
-// depends only on the launch and the SM configuration — never on the
-// SM count or the host worker pool — partitioned Stats are also
-// bit-identical for any WithSMs/WithWorkers setting; relative to the
-// unpartitioned path they trade the cross-wave pipelining of one big SM
-// run for wave-level parallel scaling (each wave starts on a cold SM),
-// leaving functional results untouched. The SM count decides the
-// modeled wall-clock: wave j runs on SM j mod N, and
-// Result.SMCycles/DeviceCycles report how the waves pack onto the
-// configured SMs.
+// in wave order with Stats.Merge. Under the default flat-latency
+// memory model the wave decomposition depends only on the launch and
+// the SM configuration — never on the SM count or the host worker pool
+// — so partitioned Stats are bit-identical for any WithSMs/WithWorkers
+// setting; relative to the unpartitioned path they trade the
+// cross-wave pipelining of one big SM run for wave-level parallel
+// scaling (each wave starts on a cold SM), leaving functional results
+// untouched. The SM count decides the modeled wall-clock: wave j runs
+// on SM j mod N, and Result.SMCycles/DeviceCycles report how the waves
+// pack onto the configured SMs.
 //
 // # Batch scheduling and memoization
 //
@@ -71,16 +71,22 @@
 // # Shared memory system
 //
 // WithL2 / WithInterconnect replace the seed's flat-latency DRAM model
-// with a modeled hierarchy: every SM's L1 misses and write-throughs
-// cross a crossbar port (package noc) into a banked, MSHR-backed
-// shared L2 (mem.L2) in front of the single DRAM port. Unpartitioned
-// runs time that path inline; partitioned runs record each wave's
-// DRAM-bound stream and replay all streams through one shared L2 —
-// see memsys.go for the two replay passes and why merged statistics
-// (including the new Stats.Mem.L2 / Stats.Mem.NoC counters) remain
-// bit-identical for every SM and worker count while SMCycles and
-// DeviceCycles become contention-aware. Both options are off by
-// default, keeping every default-path number seed-exact.
+// with a modeled hierarchy: every SM's L1 misses and write-through
+// stores cross a crossbar port (package noc) into a banked,
+// MSHR-backed shared L2 (mem.L2) in front of the single DRAM port —
+// inline, at the cycle each transaction leaves its L1, with the
+// returned ready time flowing straight back into scoreboard wake-up.
+// Unpartitioned runs wire the single SM to a one-port crossbar;
+// partitioned runs interleave every CTA wave against one shared
+// memory-system clock on a single driving goroutine, so all waves
+// contend for the same L2/NoC/DRAM state as they execute (see
+// memsys.go for the interleaver and its determinism argument).
+// Contention-aware results — Stats.Mem.L2, Stats.Mem.NoC, per-wave
+// Stats, SMCycles and DeviceCycles — are bit-identical across host
+// worker counts and repeat runs; they depend on the SM count, which is
+// an architectural parameter deciding how many waves share the
+// hierarchy at once. Both options are off by default, keeping every
+// default-path number seed-exact.
 package device
 
 import (
@@ -175,7 +181,11 @@ func WithConfig(cfg sm.Config) Option {
 
 // WithSMs sets the number of streaming multiprocessors (default 1).
 // More SMs shorten the modeled device wall-clock (Result.DeviceCycles)
-// and widen host-side parallelism, but never change merged statistics.
+// and widen host-side parallelism. Under the default flat-latency
+// memory model the SM count never changes merged statistics; with the
+// modeled shared memory system (WithL2/WithInterconnect) it decides how
+// many waves contend for the hierarchy at once, so contention counters
+// and timing legitimately shift with it.
 func WithSMs(n int) Option {
 	return func(s *settings) { s.sms = n }
 }
@@ -397,6 +407,12 @@ func (d *Device) run(ctx context.Context, l *exec.Launch, partition bool, cost i
 		return res, nil
 	}
 
+	if d.memsys {
+		// Waves share one L2/NoC/DRAM pipeline inline on a single
+		// driving goroutine; see memsys.go.
+		return d.runWavesShared(ctx, l, waves, cost)
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -423,8 +439,7 @@ func (d *Device) run(ctx context.Context, l *exec.Launch, partition bool, cost i
 			}
 			defer d.queue.release()
 			wl := l.CloneWithGlobal(base)
-			res, err := sm.RunRangeOpts(ctx, d.cfg, wl, start, end,
-				sm.RunOpts{RecordMemTrace: d.memsys})
+			res, err := sm.RunRangeOpts(ctx, d.cfg, wl, start, end, sm.RunOpts{})
 			if err != nil {
 				runs[i].err = err
 				cancel()
@@ -468,13 +483,6 @@ func (d *Device) run(ctx context.Context, l *exec.Launch, partition bool, cost i
 		out.Waves[i] = r.res.Stats
 		out.Stats.Merge(&r.res.Stats)
 		out.SMCycles[i%d.sms] += r.res.Stats.Cycles
-	}
-	if d.memsys {
-		traces := make([][]mem.Access, len(runs))
-		for i, r := range runs {
-			traces[i] = r.res.MemTrace
-		}
-		d.modelContention(out, traces)
 	}
 	return out, nil
 }

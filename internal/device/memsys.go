@@ -1,8 +1,10 @@
 package device
 
 import (
-	"sort"
+	"context"
+	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/sm"
@@ -10,156 +12,179 @@ import (
 
 // The modeled shared memory system (WithL2 / WithInterconnect).
 //
-// Unpartitioned runs route the single SM's L1 misses through an
-// interconnect port into the shared L2 inline (l2Port below): one
-// goroutine drives the whole system, so timing is naturally
-// deterministic and Stats.Cycles itself reflects the L1→NoC→L2→DRAM
-// path.
+// Every run that models the hierarchy times it inline: an SM's L1
+// misses and write-through stores enter a crossbar port (package noc),
+// cross into the banked, MSHR-backed shared L2 (mem.L2) and the single
+// DRAM port behind it at the cycle they leave the L1, and the returned
+// ready time flows straight back into scoreboard wake-up — contention
+// feeds back into issue timing instead of being estimated post-hoc
+// from recorded traces.
 //
-// Partitioned runs keep the wave simulations embarrassingly parallel
-// — each wave records its DRAM-bound transaction stream while running
-// under the seed's flat-latency model — and the device then replays
-// the recorded streams through the shared L2 and crossbar in two
-// single-threaded passes:
+// Unpartitioned runs wire the single SM's L1 to port 0 of a
+// one-port crossbar (l2Port below); one goroutine drives the whole
+// system, so timing is naturally deterministic.
 //
-//  1. A canonical pass in (wave-local cycle, wave index) order, with
-//     one crossbar port per wave, produces the L2/NoC counters merged
-//     into Result.Stats. Its ordering never references the SM count or
-//     the host workers, so merged statistics stay bit-identical for
-//     any WithSMs/WithWorkers setting — the determinism contract the
-//     rest of the engine already honors.
-//  2. A timing pass in device-time order — wave j runs on SM j mod N,
-//     waves on one SM execute back-to-back, so each wave's transactions
-//     shift by its SM-local start offset — stretches every SM's busy
-//     time by the worst lag of its load data behind the recorded
-//     flat-latency schedule (modeled NoC queue + L2 bank + shared DRAM
-//     port return time, minus the return time the wave simulation
-//     assumed). Taking the maximum rather than the sum models the
-//     memory-level parallelism the SM pipeline already exploits:
-//     overlapping delays do not add, while under sustained bandwidth
-//     saturation the lag of the last transaction grows with the whole
-//     stream's overflow, which yields the correct
-//     traffic/shared-bandwidth asymptote. The per-SM stretches land in
-//     Result.SMCycles, making DeviceCycles contention-aware: narrower
-//     ports or more SMs sharing the L2 mean more queueing and a longer
-//     modeled wall-clock.
-//
-// The split is a deliberate modeling choice, not an accident: the
-// reference stream (what is fetched, in program order) is kept
-// SM-count independent, and the SM count only reshapes time.
+// Partitioned runs interleave all CTA waves against one shared
+// memory-system clock: wave j runs on SM j mod N, waves on one SM
+// execute back-to-back (each wave's SM-local start offset is the sum of
+// its predecessors' cycles), and a single goroutine drives the N
+// resident wave simulations as steppable sm.Runner instances, always
+// advancing the SM whose local clock maps to the earliest device time
+// (runWavesShared below). Each SM's l2Port carries that device-time
+// offset, so the shared L2 and crossbar observe one globally ordered,
+// non-decreasing access stream — the idle fast-forward inside a step
+// emits no traffic, so single-step granularity cannot reorder accesses
+// across SMs. Because the driver is serial and its pick rule is a pure
+// function of the configuration — minimum device time, lowest SM index
+// on ties — the access order, every contention counter and all merged
+// Stats are bit-identical across host worker counts and repeat runs.
+// They do (intentionally) depend on the SM count: how many waves share
+// the hierarchy at once is an architectural parameter, and more SMs
+// mean more interleaved traffic, more queueing and different hit/miss
+// interleavings. The default flat-latency path never enters this file
+// and stays seed-exact.
 
-// l2Port is the mem.Lower an inline run's L1 talks to: one crossbar
-// port in front of the shared L2.
+// l2Port is the mem.Lower an SM's L1 talks to: one crossbar port in
+// front of the shared L2. offset maps the driving SM's wave-local clock
+// onto the shared device clock (zero for unpartitioned runs); the port
+// translates outgoing cycles into device time and returned ready times
+// back, so the SM never observes the shared clock directly.
 type l2Port struct {
 	xbar       *noc.Crossbar
 	port       int
 	l2         *mem.L2
 	blockBytes int
+	offset     int64
 }
 
+//sbwi:hotpath
 func (p *l2Port) Access(now int64, store bool, block uint32) int64 {
-	deliver := p.xbar.Send(p.port, now, p.blockBytes)
-	return p.l2.Access(deliver, block, store)
+	deliver := p.xbar.Send(p.port, now+p.offset, p.blockBytes)
+	return p.l2.Access(deliver, block, store) - p.offset
 }
 
-// replayEvent is one recorded transaction placed on the replay
-// timeline.
-type replayEvent struct {
-	at   int64 // replay-order arrival cycle
-	port int   // crossbar port (wave index or SM index, per pass)
-	seq  int   // tie-break: global sequence in (wave, intra-wave) order
-	ev   mem.Access
-	base int64 // flat-latency return time on the same timeline (loads)
+// smSlot is one SM's place in the shared-clock interleaver: the wave
+// currently simulating on it, the crossbar port its L1 uses, and the
+// device cycle at which that wave started (the sum of its predecessors'
+// cycles on this SM).
+type smSlot struct {
+	run    *sm.Runner
+	port   *l2Port
+	global []byte
+	wave   int   // index into waves of the running wave
+	offset int64 // device-time start of the running wave
 }
 
-// sortEvents orders a replay timeline deterministically.
-func sortEvents(events []replayEvent) {
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].at != events[j].at {
-			return events[i].at < events[j].at
-		}
-		return events[i].seq < events[j].seq
-	})
-}
+// runWavesShared simulates a partitioned launch against the shared
+// memory system: one goroutine interleaves every CTA wave on the
+// configured SMs so all of them contend for one L2/crossbar/DRAM
+// pipeline inline. See the file comment for the model and the
+// determinism argument.
+func (d *Device) runWavesShared(ctx context.Context, l *exec.Launch, waves [][2]int, cost int64) (*sm.Result, error) {
+	// The driver is one goroutine however many SMs it interleaves, so it
+	// occupies a single run-queue slot at the launch's full cost.
+	if err := d.queue.acquire(ctx, cost); err != nil {
+		return nil, err
+	}
+	defer d.queue.release()
 
-// replay drives events (already sorted) through a fresh crossbar and
-// L2, returning both and each port's schedule stretch: the worst lag
-// of a load's modeled return time behind its flat-latency baseline,
-// never negative (data arriving early cannot compress a schedule that
-// already consumed it on time).
-func (d *Device) replay(events []replayEvent, ports int) (*noc.Crossbar, *mem.L2, []int64) {
-	xbar := noc.New(d.noccfg, ports)
+	base := make([]byte, len(l.Global))
+	copy(base, l.Global)
+
 	l2 := mem.NewL2(d.l2cfg, d.cfg.Mem)
-	stretch := make([]int64, ports)
-	for _, e := range events {
-		deliver := xbar.Send(e.port, e.at, d.cfg.Mem.BlockBytes)
-		ready := l2.Access(deliver, e.ev.Block, e.ev.Store)
-		if !e.ev.Store {
-			if lag := ready - e.base; lag > stretch[e.port] {
-				stretch[e.port] = lag
+	xbar := noc.New(d.noccfg, d.sms)
+
+	type waveRun struct {
+		res    *sm.Result
+		global []byte
+	}
+	runs := make([]waveRun, len(waves))
+
+	slots := make([]smSlot, d.sms)
+	start := func(sl *smSlot, w int) error {
+		wl := l.CloneWithGlobal(base)
+		sl.port.offset = sl.offset
+		run, err := sm.NewRunner(d.cfg, wl, waves[w][0], waves[w][1], sm.RunOpts{Lower: sl.port})
+		if err != nil {
+			return err
+		}
+		sl.run, sl.global, sl.wave = run, wl.Global, w
+		return nil
+	}
+	for i := range slots {
+		slots[i].port = &l2Port{xbar: xbar, port: i, l2: l2, blockBytes: d.cfg.Mem.BlockBytes}
+		if i < len(waves) {
+			if err := start(&slots[i], i); err != nil {
+				return nil, err
 			}
 		}
 	}
-	return xbar, l2, stretch
-}
 
-// modelContention fills the merged result's shared-memory-system
-// counters and re-times SMCycles from the waves' recorded transaction
-// streams; see the file comment for the model.
-func (d *Device) modelContention(out *sm.Result, traces [][]mem.Access) {
-	// Pass 1: canonical reference stream, one port per wave, ordered by
-	// (wave-local cycle, wave index) — independent of SMs and workers.
-	var events []replayEvent
-	seq := 0
-	for w, tr := range traces {
-		for _, ev := range tr {
-			events = append(events, replayEvent{at: ev.Cycle, port: w, seq: seq, ev: ev})
-			seq++
+	remaining := len(waves)
+	for steps := 0; remaining > 0; steps++ {
+		if steps&1023 == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		// Advance the SM whose local clock maps to the earliest device
+		// time; strict < makes ties resolve to the lowest SM index.
+		best := -1
+		var bestT int64
+		for i := range slots {
+			sl := &slots[i]
+			if sl.run == nil {
+				continue
+			}
+			if t := sl.offset + sl.run.Now(); best < 0 || t < bestT {
+				best, bestT = i, t
+			}
+		}
+		sl := &slots[best]
+		done, err := sl.run.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !done {
+			continue
+		}
+		res := sl.run.Result()
+		runs[sl.wave] = waveRun{res: res, global: sl.global}
+		sl.offset += res.Stats.Cycles
+		sl.run = nil
+		remaining--
+		if next := sl.wave + d.sms; next < len(waves) {
+			if err := start(sl, next); err != nil {
+				return nil, err
+			}
 		}
 	}
-	// seq increments in (wave, intra-wave) order, so same-cycle ties
-	// resolve canonically by wave index.
-	sortEvents(events)
-	xbar, l2, _ := d.replay(events, len(traces))
+
+	images := make([][]byte, len(runs))
+	for i := range runs {
+		images[i] = runs[i].global
+	}
+	if err := exec.MergeWaves(l.Global, base, images); err != nil {
+		return nil, fmt.Errorf("device: %s: %w", l.Prog.Name, err)
+	}
+
+	out := &sm.Result{
+		Trace:    runs[0].res.Trace, // wave clocks overlap; keep the first wave's trace
+		Waves:    make([]sm.Stats, len(runs)),
+		SMCycles: make([]int64, d.sms),
+		NoCPorts: make([]noc.Stats, d.sms),
+	}
+	for i := range runs {
+		out.Waves[i] = runs[i].res.Stats
+		out.Stats.Merge(&runs[i].res.Stats)
+	}
+	for i := range slots {
+		out.SMCycles[i] = slots[i].offset
+		out.NoCPorts[i] = xbar.PortStats(i)
+	}
 	out.Stats.Mem.L2 = l2.Stats
 	out.Stats.Mem.NoC = xbar.Stats()
-
-	// Pass 2: device-time replay across the configured SMs. Wave j runs
-	// on SM j mod N starting at the sum of its predecessors' cycles on
-	// that SM (the same packing SMCycles already models).
-	offsets := make([]int64, len(traces))
-	smBusy := make([]int64, d.sms)
-	for w := range traces {
-		smID := w % d.sms
-		offsets[w] = smBusy[smID]
-		smBusy[smID] += out.Waves[w].Cycles
-	}
-	timed := events[:0] // reuse the backing array; same length
-	seq = 0
-	for w, tr := range traces {
-		for _, ev := range tr {
-			timed = append(timed, replayEvent{
-				at:   offsets[w] + ev.Cycle,
-				port: w % d.sms,
-				seq:  seq,
-				ev:   ev,
-				base: offsets[w] + ev.Ready,
-			})
-			seq++
-		}
-	}
-	sortEvents(timed)
-	xbar2, _, stretch := d.replay(timed, d.sms)
-	for i := range out.SMCycles {
-		out.SMCycles[i] += stretch[i]
-	}
-	// Surface the device-time pass's per-SM port counters: how each
-	// SM's share of the recorded traffic queued on its injection port
-	// under the configured packing. The totals (requests, bytes) match
-	// the canonical Stats.Mem.NoC counters — same events, different
-	// port mapping — while the queueing columns show the per-SM skew.
-	out.NoCPorts = make([]noc.Stats, d.sms)
-	for i := range out.NoCPorts {
-		out.NoCPorts[i] = xbar2.PortStats(i)
-	}
+	return out, nil
 }

@@ -1,8 +1,10 @@
 package device
 
 import (
+	"bytes"
 	"context"
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/kernels"
@@ -26,49 +28,66 @@ func memsysSuite(t *testing.T) []*kernels.Benchmark {
 	return out
 }
 
-// TestSharedMemSysDeterminism pins the determinism contract of the new
-// shared state: with the L2 and interconnect modeled, RunSuite over
-// partitioned launches must produce bit-identical merged statistics —
-// including the L2/NoC counters — for every SM and worker count. Run
-// under -race in CI, this also proves the wave simulations and the
-// device-level replay share no unsynchronized state.
+// TestSharedMemSysDeterminism pins the determinism contract of the
+// shared-clock path: with the L2 and interconnect modeled, partitioned
+// results — merged Stats with all L2/NoC counters, per-wave Stats,
+// SMCycles, NoCPorts and DeviceCycles — must be bit-identical across
+// host worker counts and repeat runs for each SM count. The SM count
+// itself is an architectural parameter (it decides how many waves
+// contend for the hierarchy at once), so baselines are per SM count,
+// never compared across them. Run under -race in CI, this also proves
+// the interleaved wave simulations share no unsynchronized state.
 func TestSharedMemSysDeterminism(t *testing.T) {
 	suite := memsysSuite(t)
-	type combo struct{ sms, workers int }
-	combos := []combo{{1, 1}, {1, 4}, {2, 1}, {2, 4}, {8, 1}, {8, 4}}
-	var baseline []sm.Stats
-	for _, c := range combos {
-		dev, err := New(
-			WithArch(sm.ArchSBISWI),
-			WithSMs(c.sms),
-			WithWorkers(c.workers),
-			WithGridPartition(true),
-			WithL2(mem.DefaultL2()),
-			WithInterconnect(noc.Default()),
-		)
-		if err != nil {
-			t.Fatal(err)
-		}
-		results, err := dev.RunSuite(context.Background(), suite)
-		if err != nil {
-			t.Fatal(err)
-		}
-		stats := make([]sm.Stats, len(results))
-		for i, r := range results {
-			if r.Err != nil {
-				t.Fatalf("SMs %d workers %d: %s: %v", c.sms, c.workers, r.Name(), r.Err)
+	type snapshot struct {
+		stats    sm.Stats
+		waves    []sm.Stats
+		smCycles []int64
+		ports    []noc.Stats
+		device   int64
+	}
+	for _, sms := range []int{1, 2, 8} {
+		var baseline []snapshot
+		// Two passes per worker count: the second pass of each device
+		// repeats the runs, so the loop also pins repeat-run stability.
+		for _, workers := range []int{1, 4, 1, 4} {
+			dev, err := New(
+				WithArch(sm.ArchSBISWI),
+				WithSMs(sms),
+				WithWorkers(workers),
+				WithGridPartition(true),
+				WithL2(mem.DefaultL2()),
+				WithInterconnect(noc.Default()),
+			)
+			if err != nil {
+				t.Fatal(err)
 			}
-			stats[i] = r.Result.Stats
-		}
-		if baseline == nil {
-			baseline = stats
-			continue
-		}
-		for i := range stats {
-			if !reflect.DeepEqual(stats[i], baseline[i]) {
-				t.Errorf("SMs %d workers %d: %s: merged stats differ from the %d-SM/%d-worker baseline\n got: %+v\nwant: %+v",
-					c.sms, c.workers, suite[i].Name, combos[0].sms, combos[0].workers,
-					stats[i].Mem, baseline[i].Mem)
+			results, err := dev.RunSuite(context.Background(), suite)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snaps := make([]snapshot, len(results))
+			for i, r := range results {
+				if r.Err != nil {
+					t.Fatalf("SMs %d workers %d: %s: %v", sms, workers, r.Name(), r.Err)
+				}
+				snaps[i] = snapshot{
+					stats:    r.Result.Stats,
+					waves:    r.Result.Waves,
+					smCycles: r.Result.SMCycles,
+					ports:    r.Result.NoCPorts,
+					device:   r.Result.DeviceCycles(),
+				}
+			}
+			if baseline == nil {
+				baseline = snaps
+				continue
+			}
+			for i := range snaps {
+				if !reflect.DeepEqual(snaps[i], baseline[i]) {
+					t.Errorf("SMs %d workers %d: %s: results differ from this SM count's baseline\n got: %+v\nwant: %+v",
+						sms, workers, suite[i].Name, snaps[i], baseline[i])
+				}
 			}
 		}
 	}
@@ -106,17 +125,16 @@ func TestMemSysCountersNonzero(t *testing.T) {
 	if res.Stats.Mem.NoC.Requests == 0 || res.Stats.Mem.NoC.QueueCycles == 0 {
 		t.Errorf("NoC stats %+v: requests and queueing must be nonzero", res.Stats.Mem.NoC)
 	}
-	// Every replayed L2 read came from a recorded L1 miss fill; misses
-	// merged into an outstanding fill (no new transaction) may make the
-	// L2 see fewer reads than the L1 counted misses, never more.
+	// Every L2 read is an L1 miss fill arriving inline; misses merged
+	// into an outstanding fill (no new transaction) may make the L2 see
+	// fewer reads than the L1s counted misses, never more.
 	if got, flat := res.Stats.Mem.L2.Loads, res.Stats.Mem.Misses; got == 0 || got > flat {
 		t.Errorf("L2 read requests %d: want nonzero and at most the %d merged L1 misses", got, flat)
 	}
 	// The per-SM port breakdown covers every configured SM and accounts
-	// for exactly the canonical traffic: the device-time replay routes
-	// the same events, only through per-SM ports on a different
-	// timeline, so requests and bytes must sum to the merged counters
-	// (queue cycles legitimately differ between the two passes).
+	// for exactly the shared traffic: every transaction entered the
+	// crossbar through its SM's port, so requests and bytes must sum to
+	// the merged counters.
 	if got, want := len(res.NoCPorts), 4; got != want {
 		t.Fatalf("NoCPorts length = %d, want %d (one per SM)", got, want)
 	}
@@ -128,6 +146,206 @@ func TestMemSysCountersNonzero(t *testing.T) {
 	if reqs != res.Stats.Mem.NoC.Requests || bytes != res.Stats.Mem.NoC.Bytes {
 		t.Errorf("per-SM ports carry %d requests / %d bytes, want the merged %d / %d",
 			reqs, bytes, res.Stats.Mem.NoC.Requests, res.Stats.Mem.NoC.Bytes)
+	}
+}
+
+// TestStoreSaturationStretch is the regression test for the replay
+// model's store blindness. WriteStorm issues nothing but stores (48 KB
+// of write-through traffic per launch, zero loads), so the retired
+// two-pass replay — which computed each wave's contention lag from its
+// recorded load fills only — would have reported zero stretch for it.
+// The inline model must show the saturation: the L1 write buffers fill,
+// stores stall for entries, the LSU back-pressure stretches issue, and
+// the partitioned modeled wall-clock ends up above the flat-latency
+// run's, which never gates stores at all.
+func TestStoreSaturationStretch(t *testing.T) {
+	b, ok := kernels.ByName("WriteStorm")
+	if !ok {
+		t.Fatal("WriteStorm missing")
+	}
+	run := func(opts ...Option) *sm.Result {
+		t.Helper()
+		dev, err := New(append([]Option{
+			WithArch(sm.ArchSBISWI),
+			WithSMs(2),
+			WithGridPartition(true),
+		}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := b.NewLaunch(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dev.Run(context.Background(), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(l.Global, b.Expected()) {
+			t.Fatal("simulation diverged from the reference oracle")
+		}
+		return res
+	}
+	flat := run()
+	modeled := run(WithL2(mem.DefaultL2()), WithInterconnect(noc.Default()))
+	if flat.Stats.Mem.StoreQueueStalls != 0 {
+		t.Errorf("flat model charged %d store-queue stall cycles; the write buffer must stay disabled without a lower level",
+			flat.Stats.Mem.StoreQueueStalls)
+	}
+	if modeled.Stats.Mem.StoreQueueStalls == 0 {
+		t.Error("store-saturating kernel never stalled for a write-buffer entry")
+	}
+	if modeled.Stats.Mem.L2.Stores == 0 || modeled.Stats.Mem.NoC.Requests == 0 {
+		t.Errorf("store stream never reached the shared hierarchy: %+v", modeled.Stats.Mem)
+	}
+	if m, f := modeled.DeviceCycles(), flat.DeviceCycles(); m <= f {
+		t.Errorf("modeled wall-clock %d not above the flat run's %d: store saturation exerted no stretch", m, f)
+	}
+}
+
+// recLower reconstructs the retired two-pass model's first pass for
+// TestTwoPassVsInlineEquivalence: it services the L1's traffic with the
+// same flat-latency DRAM link the seed used — so the SM runs on the
+// undisturbed flat schedule — while recording every transaction it is
+// shown for a post-hoc contention replay.
+type recLower struct {
+	port       noc.Link
+	blockBytes int
+	evs        []recEvent
+}
+
+type recEvent struct {
+	now   int64
+	block uint32
+	store bool
+}
+
+func (r *recLower) Access(now int64, store bool, block uint32) int64 {
+	r.evs = append(r.evs, recEvent{now: now, block: block, store: store})
+	return r.port.Reserve(now, r.blockBytes)
+}
+
+// TestTwoPassVsInlineEquivalence is the equivalence harness between the
+// retired two-pass record/replay contention model and the inline
+// shared-clock model that replaced it, over the whole benchmark suite.
+// The two-pass side is reconstructed locally: pass one runs the SM on
+// the flat-latency schedule while recording its L1→memory transactions
+// (recLower), pass two replays the time-sorted record through a fresh
+// canonical crossbar+L2 — exactly the shape of the deleted
+// modelContention path. The harness then asserts what must agree and
+// documents what intentionally diverges:
+//
+//   - Conservation holds in both models: every L2 access entered
+//     through a crossbar port (NoC.Requests == L2 loads + stores, bytes
+//     == requests × block size), every L1 store transaction reaches the
+//     L2 (the store-blindness fix), and the L2 sees at most the L1's
+//     misses as loads, short at most the L1's MSHR merges.
+//   - The replay itself is deterministic: replaying the same record
+//     twice produces bit-identical canonical counters.
+//   - For kernels whose instruction stream is timing-independent, the
+//     two models execute identical per-thread work (ThreadInstrs and
+//     its per-unit breakdown, including the LSU class).
+//
+// Intended divergences — logged, never asserted: the canonical L2/NoC
+// counters themselves (hits, misses, queue cycles) differ because the
+// inline model's contention feeds back into issue timing and MSHR
+// merging while the replay observes the flat schedule; L1 transaction
+// counts differ even for identical instruction streams because the
+// coalescer merges per warp-split and split grouping is itself
+// timing-dependent under SWI; and kernels that communicate through
+// global memory (BFS's frontier, the TMD task queues) may shift
+// instruction counts by a few under any timing change, so nothing
+// instruction-derived is comparable for them at all.
+func TestTwoPassVsInlineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite equivalence harness")
+	}
+	cfg := sm.Configure(sm.ArchSBISWI)
+	bb := uint64(cfg.Mem.BlockBytes)
+	check := func(t *testing.T, model string, l1 *mem.Stats, l2 mem.L2Stats, nc noc.Stats) {
+		t.Helper()
+		if nc.Requests != l2.Loads+l2.Stores {
+			t.Errorf("%s: %d NoC requests, want the %d+%d L2 loads+stores", model, nc.Requests, l2.Loads, l2.Stores)
+		}
+		if nc.Bytes != nc.Requests*bb {
+			t.Errorf("%s: %d NoC bytes, want requests×blockBytes = %d", model, nc.Bytes, nc.Requests*bb)
+		}
+		if l2.Stores != l1.Stores {
+			t.Errorf("%s: L2 saw %d stores, L1 sent %d: store traffic lost below the L1", model, l2.Stores, l1.Stores)
+		}
+		if l2.Loads > l1.Misses || l2.Loads+l1.MSHRMerges < l1.Misses {
+			t.Errorf("%s: L2 saw %d loads for %d L1 misses (%d merges)", model, l2.Loads, l1.Misses, l1.MSHRMerges)
+		}
+	}
+	for _, b := range kernels.All() {
+		t.Run(b.Name, func(t *testing.T) {
+			// Pass 1 of the retired model: flat-latency schedule, traffic
+			// recorded.
+			l1, err := b.NewLaunch(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &recLower{
+				port:       noc.NewLink(cfg.Mem.BytesPerCycle, cfg.Mem.MemLatency),
+				blockBytes: cfg.Mem.BlockBytes,
+			}
+			twoPass, err := sm.RunRangeOpts(context.Background(), cfg, l1, 0, l1.GridDim, sm.RunOpts{Lower: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pass 2: replay the time-sorted record through the canonical
+			// shared hierarchy, twice to pin the replay's own determinism.
+			sort.SliceStable(rec.evs, func(i, j int) bool { return rec.evs[i].now < rec.evs[j].now })
+			replay := func() (mem.L2Stats, noc.Stats) {
+				l2 := mem.NewL2(mem.DefaultL2(), cfg.Mem)
+				xbar := noc.New(noc.Default(), 1)
+				for _, e := range rec.evs {
+					l2.Access(xbar.Send(0, e.now, cfg.Mem.BlockBytes), e.block, e.store)
+				}
+				return l2.Stats, xbar.Stats()
+			}
+			rl2, rnc := replay()
+			rl2b, rncb := replay()
+			if !reflect.DeepEqual(rl2, rl2b) || !reflect.DeepEqual(rnc, rncb) {
+				t.Errorf("replay of the same record is not deterministic:\n%+v %+v\n%+v %+v", rl2, rnc, rl2b, rncb)
+			}
+
+			// The inline single-pass model on the same launch.
+			dev, err := New(WithArch(sm.ArchSBISWI), WithL2(mem.DefaultL2()), WithInterconnect(noc.Default()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			l2, err := b.NewLaunch(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inline, err := dev.Run(context.Background(), l2)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			check(t, "two-pass", &twoPass.Stats.Mem, rl2, rnc)
+			check(t, "inline", &inline.Stats.Mem, inline.Stats.Mem.L2, inline.Stats.Mem.NoC)
+
+			if twoPass.Stats.ThreadInstrs == inline.Stats.ThreadInstrs {
+				if twoPass.Stats.UnitThreadInstrs != inline.Stats.UnitThreadInstrs {
+					t.Errorf("identical instruction counts but different per-unit work: two-pass %v, inline %v",
+						twoPass.Stats.UnitThreadInstrs, inline.Stats.UnitThreadInstrs)
+				}
+				if tp, in := &twoPass.Stats.Mem, &inline.Stats.Mem; tp.Loads != in.Loads || tp.Stores != in.Stores {
+					t.Logf("intended divergence: L1 transactions two-pass %d/%d, inline %d/%d (loads/stores) — coalescing follows timing-dependent warp-split grouping",
+						tp.Loads, tp.Stores, in.Loads, in.Stores)
+				}
+			} else {
+				t.Logf("instruction counts differ (%d vs %d): kernel communicates through global memory, totals not comparable across timing models",
+					twoPass.Stats.ThreadInstrs, inline.Stats.ThreadInstrs)
+			}
+			if rl2.Hits != inline.Stats.Mem.L2.Hits || rnc.QueueCycles != inline.Stats.Mem.NoC.QueueCycles {
+				t.Logf("intended divergence: two-pass L2 %d/%d hit/miss, %d queue cycles; inline %d/%d, %d — inline contention feeds back into issue timing",
+					rl2.Hits, rl2.Misses, rnc.QueueCycles,
+					inline.Stats.Mem.L2.Hits, inline.Stats.Mem.L2.Misses, inline.Stats.Mem.NoC.QueueCycles)
+			}
+		})
 	}
 }
 
@@ -191,6 +409,9 @@ func TestInlineMemSysRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if !bytes.Equal(l.Global, b.Expected()) {
+			t.Fatal("simulation diverged from the reference oracle")
+		}
 		return res
 	}
 	flat := run()
@@ -208,10 +429,10 @@ func TestInlineMemSysRun(t *testing.T) {
 		t.Errorf("inline single-SM run: NoCPorts = %v, want exactly the merged counters %v",
 			modeled.NoCPorts, modeled.Stats.Mem.NoC)
 	}
-	// Functional results are oracle-checked by RunSuite elsewhere; here
-	// pin that the instruction stream is identical and only timing moved.
-	if modeled.Stats.ThreadInstrs != flat.Stats.ThreadInstrs {
-		t.Errorf("modeled memory system changed the instruction count: %d vs %d",
-			modeled.Stats.ThreadInstrs, flat.Stats.ThreadInstrs)
-	}
+	// No instruction-derived counter is compared across the two models:
+	// BFS warps communicate through global memory (frontier reads race
+	// benignly with sibling writes), so a timing change can move a
+	// relaxation by an iteration and shift instruction and transaction
+	// counts by a few. The oracle check in run() pins the functional
+	// result for both models instead.
 }

@@ -27,9 +27,9 @@ import (
 //     Stats legitimately differ from the whole-grid run),
 //   - the modeled memory system (L2 + NoC parameters), and the SM
 //     count when it shapes the result (partitioned packing and the
-//     contention replay read it; for unpartitioned flat-memory runs it
-//     is normalized away, because those results are SM-count
-//     independent by construction).
+//     shared-clock contention model read it; for unpartitioned
+//     flat-memory runs it is normalized away, because those results
+//     are SM-count independent by construction).
 //
 // Host-side parallelism (worker count) is deliberately absent: results
 // are bit-identical for every worker count, which the determinism

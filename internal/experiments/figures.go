@@ -32,7 +32,7 @@ func (r *Runner) fig7(title string, suite []*kernels.Benchmark) (*Table, error) 
 	if err := r.prefetchMatrix(suite, cfgs); err != nil {
 		return nil, err
 	}
-	t := &Table{Title: title, Note: "thread-IPC; Gmean excludes TMD (reflects reconvergence scheme, not SBI/SWI)"}
+	t := &Table{Title: title, Note: "thread-IPC; Gmean excludes TMD (reflects reconvergence scheme, not SBI/SWI) and the synthetic WriteStorm"}
 	for _, a := range archs {
 		t.Cols = append(t.Cols, a.String())
 	}

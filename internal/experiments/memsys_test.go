@@ -32,18 +32,19 @@ func TestMemoryHierarchyTable(t *testing.T) {
 		if len(row.Cells) != wantCols {
 			t.Fatalf("%s: %d cells, want %d", row.Name, len(row.Cells), wantCols)
 		}
-		flat := row.Cells[0].Val
-		prev := flat
-		for i := range memsysBandwidths {
+		// Monotone in port bandwidth among the modeled columns. The flat
+		// column is deliberately not a bound in either direction: inline
+		// L2 hits return in tens of cycles where the flat model charges
+		// the full DRAM latency, so a reuse-heavy kernel can beat flat,
+		// while port queueing can push a streaming kernel far above it.
+		prev := row.Cells[1].Val
+		for i := 1; i < len(memsysBandwidths); i++ {
 			dc := row.Cells[1+i].Val
 			if dc < prev {
 				t.Errorf("%s: device cycles %f at %gB/c below %f at the wider setting — wall-clock must grow as ports narrow",
 					row.Name, dc, memsysBandwidths[i], prev)
 			}
 			prev = dc
-		}
-		if row.Cells[1].Val < flat {
-			t.Errorf("%s: modeled wall-clock %f below the flat model's %f", row.Name, row.Cells[1].Val, flat)
 		}
 		hitPct, err := strconv.ParseFloat(row.Cells[wantCols-3].Str, 64)
 		if err != nil {
@@ -77,6 +78,6 @@ func TestMemoryHierarchyTable(t *testing.T) {
 		t.Error("no benchmark produced L2 hits — the shared L2 never saw reuse")
 	}
 	if !sawPortQueue {
-		t.Error("every per-SM port queue entry is zero — the device-time replay surfaced no port pressure")
+		t.Error("every per-SM port queue entry is zero — the shared-clock path surfaced no port pressure")
 	}
 }

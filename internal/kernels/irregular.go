@@ -898,3 +898,62 @@ inactive:
 	}
 	return b
 }
+
+// WriteStorm is a synthetic store-saturation microbenchmark (not from
+// the paper's suite): every thread streams eight write-through stores
+// into a private strided slice of a large output buffer, with almost no
+// compute or loads between them. The aggregate write stream — grid ×
+// block × 8 words, far beyond what the DRAM port drains at 10 B/cycle —
+// keeps the L1 store write buffers full, so the run's wall-clock is set
+// by store back-pressure alone. It exists as a regression anchor for
+// the shared-memory-system model: a contention model that accounts only
+// load traffic (as the retired two-pass replay did) sees this kernel as
+// nearly free.
+func newWriteStorm() *Benchmark {
+	const grid, block, items = 6, 256, 8
+	n := grid * block
+	b := &Benchmark{
+		Name: "WriteStorm", Regular: false, Grid: grid, Block: block, FrontierLayout: true,
+		// idx = i*n + gid: consecutive lanes write consecutive words, so
+		// stores coalesce densely and the traffic is bandwidth demand,
+		// not transaction-count overhead. The lane-parity branch keeps
+		// the kernel (minimally) divergent, per its irregular-suite
+		// classification.
+		Source: `
+	mov  r1, %tid
+	mov  r2, %ctaid
+	mov  r3, %ntid
+	imad r4, r2, r3, r1
+	mov  r5, %p0
+	imul r7, r4, 7
+	mov  r6, 0
+loop:
+	imad r8, r6, 1536, r4
+	shl  r8, r8, 2
+	iadd r9, r5, r8
+	iadd r10, r7, r6
+	and  r12, r4, 1
+	isetp.eq r13, r12, 0
+	bra  r13, even
+	iadd r10, r10, 3
+even:
+	st.g [r9], r10
+	iadd r6, r6, 1
+	isetp.lt r11, r6, 8
+	bra  r11, loop
+	exit
+`,
+	}
+	b.Setup = func(*Benchmark) ([]byte, [isa.NumParams]uint32) {
+		return newImage(n * items), params(0)
+	}
+	b.Reference = func(_ *Benchmark, global []byte, _ [isa.NumParams]uint32) {
+		g := image(global)
+		for t := 0; t < n; t++ {
+			for i := 0; i < items; i++ {
+				g.put(i*n+t, uint32(t*7+i+3*(t&1)))
+			}
+		}
+	}
+	return b
+}

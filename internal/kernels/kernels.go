@@ -2,7 +2,10 @@
 // evaluation (§5): mini-ISA ports of ten regular and eleven irregular
 // kernels from the CUDA SDK, Rodinia, and the Table Maker's Dilemma
 // application, each with a deterministic input generator and a pure-Go
-// reference implementation used as a functional oracle.
+// reference implementation used as a functional oracle. One synthetic
+// store-saturation microbenchmark (WriteStorm) rides along in the
+// irregular set as a regression anchor for the shared-memory-system
+// model.
 //
 // The ports reproduce each benchmark's control-flow and memory-access
 // structure (the properties SBI/SWI react to) rather than its full
@@ -192,6 +195,8 @@ func buildRegistry() []*Benchmark {
 		newSRAD(),
 		newTMD1(),
 		newTMD2(),
+		// Synthetic additions (not in the paper's figure 7).
+		newWriteStorm(),
 	}
 	for _, b := range bs {
 		if b.Setup == nil || b.Reference == nil || b.Source == "" || b.Grid <= 0 || b.Block <= 0 {

@@ -90,7 +90,7 @@ func (s *L2Stats) HitRate() float64 {
 // per-block MSHRs and the device's single DRAM port behind it. Like
 // Hierarchy it is purely a timing model — data lives in the launch
 // image. An L2 must only be driven from one goroutine; the device
-// serializes all shared-memory-system traffic through one replay pass
+// interleaves all waves' traffic on one shared-clock driving goroutine
 // (see package device), which is what keeps multi-SM results
 // deterministic under any host scheduling.
 type L2 struct {
@@ -145,18 +145,27 @@ func (l *L2) acquireBank(now int64, blockAddr uint32) int64 {
 }
 
 // Access presents one request arriving from the interconnect at cycle
-// now and returns the cycle its data is available back at the L2 side.
-// Loads allocate on miss; stores are write-through no-allocate (hits
-// refresh the line), mirroring the L1's policy so the two levels agree
-// on what memory traffic exists.
+// now and returns, for loads, the cycle its data is available back at
+// the L2 side; for stores, the cycle the store has drained — the later
+// of the bank access completing and the DRAM port accepting the write —
+// which the L1's write buffer holds its entry until. Loads allocate on
+// miss; stores are write-through no-allocate (hits refresh the line),
+// mirroring the L1's policy so the two levels agree on what memory
+// traffic exists.
+//
+//sbwi:hotpath
 func (l *L2) Access(now int64, blockAddr uint32, store bool) int64 {
 	if store {
 		l.Stats.Stores++
 		served := l.acquireBank(now, blockAddr)
 		l.arr.lookup(blockAddr) // refresh LRU if present
-		l.port.Reserve(served, l.mem.BlockBytes)
+		accept := l.port.Reserve(served, l.mem.BlockBytes) - l.mem.MemLatency
 		l.Stats.BytesToMem += uint64(l.mem.BlockBytes)
-		return served + l.cfg.HitLatency
+		done := served + l.cfg.HitLatency
+		if accept > done {
+			done = accept
+		}
+		return done
 	}
 
 	l.Stats.Loads++

@@ -134,15 +134,22 @@ func TestL2HitRate(t *testing.T) {
 	}
 }
 
+// lowerCall is one transaction a test Lower observed.
+type lowerCall struct {
+	Cycle int64
+	Block uint32
+	Store bool
+}
+
 // fixedLower stamps a constant extra latency, for hierarchy routing
 // tests.
 type fixedLower struct {
-	calls []Access
+	calls []lowerCall
 	l     int64
 }
 
 func (f *fixedLower) Access(now int64, store bool, block uint32) int64 {
-	f.calls = append(f.calls, Access{Cycle: now, Block: block, Store: store})
+	f.calls = append(f.calls, lowerCall{Cycle: now, Block: block, Store: store})
 	return now + f.l
 }
 
@@ -167,20 +174,51 @@ func TestHierarchyRoutesThroughLower(t *testing.T) {
 	}
 }
 
-func TestHierarchyRecordsTrace(t *testing.T) {
-	h := NewHierarchy(Default())
-	h.Record(true)
-	h.Load(0, 0)    // miss -> recorded
-	h.Load(400, 0)  // hit -> not recorded
-	h.Store(500, 0) // write-through -> recorded
-	tr := h.Trace()
-	if len(tr) != 2 {
-		t.Fatalf("trace length = %d, want 2: %+v", len(tr), tr)
+// TestStoreWriteBuffer pins the finite write buffer in front of a
+// modeled lower level: each store occupies an entry until the level
+// below drains it, and a store arriving at a full buffer is accepted —
+// and retired by the LSU — only when the oldest entry frees. Without a
+// lower level (the flat DRAM path) or with StoreQueue 0, stores stay
+// ungated as in the seed.
+func TestStoreWriteBuffer(t *testing.T) {
+	cfg := Default()
+	cfg.StoreQueue = 2
+	h := NewHierarchy(cfg)
+	h.SetLower(&fixedLower{l: 100}) // each store drains 100 cycles after acceptance
+	if r := h.Store(0, 0); r != cfg.HitLatency {
+		t.Errorf("first store retire = %d, want ungated %d", r, cfg.HitLatency)
 	}
-	if tr[0].Store || tr[0].Cycle != 0 || tr[0].Ready != h.Config().MemLatency {
-		t.Errorf("trace[0] = %+v", tr[0])
+	if r := h.Store(0, 128); r != cfg.HitLatency {
+		t.Errorf("second store retire = %d, want ungated %d", r, cfg.HitLatency)
 	}
-	if !tr[1].Store || tr[1].Cycle != 500 {
-		t.Errorf("trace[1] = %+v", tr[1])
+	// Buffer full: the third store waits for the first drain at 100.
+	if r := h.Store(0, 256); r != 100+cfg.HitLatency {
+		t.Errorf("third store retire = %d, want %d (oldest drain + hit latency)", r, 100+cfg.HitLatency)
+	}
+	if h.Stats.StoreQueueStalls != 100 {
+		t.Errorf("StoreQueueStalls = %d, want 100", h.Stats.StoreQueueStalls)
+	}
+
+	flat := NewHierarchy(cfg) // no lower level: never gated
+	for i := 0; i < 5; i++ {
+		if r := flat.Store(0, 0); r != cfg.HitLatency {
+			t.Fatalf("flat store %d retire = %d, want %d", i, r, cfg.HitLatency)
+		}
+	}
+	if flat.Stats.StoreQueueStalls != 0 {
+		t.Errorf("flat path accumulated %d store-queue stalls", flat.Stats.StoreQueueStalls)
+	}
+
+	c0 := Default()
+	c0.StoreQueue = 0 // buffer disabled: lower consulted, never gated
+	h0 := NewHierarchy(c0)
+	h0.SetLower(&fixedLower{l: 500})
+	for i := 0; i < 5; i++ {
+		if r := h0.Store(0, 0); r != c0.HitLatency {
+			t.Fatalf("unbuffered store %d retire = %d, want %d", i, r, c0.HitLatency)
+		}
+	}
+	if h0.Stats.StoreQueueStalls != 0 {
+		t.Errorf("StoreQueue 0 accumulated %d stalls", h0.Stats.StoreQueueStalls)
 	}
 }

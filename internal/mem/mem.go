@@ -12,10 +12,16 @@
 // banked, MSHR-backed L2 (see L2 and L2Config) that the device layer
 // places between every SM's L1 and the DRAM port, reached through the
 // interconnect of package noc. An L1 Hierarchy talks to it through the
-// Lower interface (SetLower) or records its DRAM-bound stream (Record)
-// for the device's deterministic contention replay; under the default
-// flat-latency model both stay disabled and timing is unchanged from
-// the seed.
+// Lower interface (SetLower): every miss fill and write-through store
+// is presented to the lower level inline, at the cycle it leaves the
+// L1, and the returned ready time flows straight back into warp
+// wake-up. With a lower level attached the L1 also models a finite
+// store write buffer (Config.StoreQueue): a store occupies an entry
+// until the level below drains it, and when every entry is busy the
+// next store's acceptance — and the LSU that issued it — waits for the
+// oldest drain, so store traffic exerts the same bandwidth back-pressure
+// as loads. Under the default flat-latency model the lower level and
+// the write buffer stay disabled and timing is unchanged from the seed.
 package mem
 
 import (
@@ -30,6 +36,14 @@ type Config struct {
 	HitLatency    int64 // L1 hit latency in cycles
 	BytesPerCycle float64
 	MemLatency    int64 // DRAM round-trip latency in cycles
+
+	// StoreQueue is the number of L1 write-buffer entries in front of a
+	// modeled lower level (SetLower): each write-through store occupies
+	// an entry until the lower level drains it, and a store arriving at
+	// a full buffer is accepted only when the oldest entry frees, which
+	// the LSU observes as back-pressure. 0 disables the buffer; the
+	// flat-latency DRAM path never gates stores regardless.
+	StoreQueue int
 }
 
 // Default returns the paper's Table 2 memory configuration.
@@ -41,6 +55,7 @@ func Default() Config {
 		HitLatency:    3,
 		BytesPerCycle: 10, // 10 GB/s at 1 GHz
 		MemLatency:    330,
+		StoreQueue:    8,
 	}
 }
 
@@ -58,12 +73,17 @@ type Stats struct {
 	CoalescedAccesses uint64 // lanes served by all transactions
 	Transactions      uint64 // unique transactions after coalescing
 
+	// StoreQueueStalls is the total cycles stores waited for a free
+	// write-buffer entry (only possible with a lower level attached and
+	// Config.StoreQueue > 0; always zero under the flat DRAM model).
+	StoreQueueStalls uint64
+
 	// L2 and NoC hold the shared-memory-system counters when the device
 	// models the L1→NoC→L2→DRAM hierarchy (WithL2/WithInterconnect);
 	// they stay zero under the default flat-latency DRAM model. For
 	// partitioned launches they are filled at the device level from the
-	// canonical replay of all waves' miss streams, so per-wave Stats
-	// carry only the L1-side counters.
+	// one shared L2 and crossbar every wave accessed inline, so per-wave
+	// Stats carry only the L1-side counters.
 	L2  L2Stats
 	NoC noc.Stats
 }
@@ -85,6 +105,7 @@ func (s *Stats) Merge(o *Stats) {
 	s.Evictions += o.Evictions
 	s.CoalescedAccesses += o.CoalescedAccesses
 	s.Transactions += o.Transactions
+	s.StoreQueueStalls += o.StoreQueueStalls
 	s.L2.Merge(&o.L2)
 	s.NoC.Merge(&o.NoC)
 }
@@ -93,21 +114,13 @@ func (s *Stats) Merge(o *Stats) {
 // fills and write-through stores — in place of the hierarchy's
 // built-in flat-latency DRAM port. The device wires an interconnect
 // port backed by the shared L2 here. Access is called with the cycle
-// the transaction leaves the L1 and returns the cycle its data is
-// available back at the L1 (for stores the return value is unused).
+// the transaction leaves the L1 and returns, for loads, the cycle its
+// data is available back at the L1; for stores, the cycle the level
+// below has drained the store (the write buffer holds its entry until
+// then). A Lower is driven from the simulation goroutine; a shared
+// Lower must only ever see one access stream at a time.
 type Lower interface {
 	Access(now int64, store bool, blockAddr uint32) int64
-}
-
-// Access is one recorded L1-to-memory transaction: a load fill or a
-// write-through store, in issue order. Ready is the data-return cycle
-// the flat-latency model charged, which the device's contention replay
-// uses as the per-transaction baseline.
-type Access struct {
-	Cycle int64
-	Block uint32
-	Store bool
-	Ready int64
 }
 
 // Hierarchy is one SM's view of the memory system. It is purely a timing
@@ -122,10 +135,11 @@ type Hierarchy struct {
 	// place of the flat-latency DRAM port (the modeled NoC+L2 path).
 	lower Lower
 
-	// trace, when recording, accumulates the DRAM-bound transaction
-	// stream for the device's shared-L2 replay.
-	trace     []Access
-	recording bool
+	// storeBusy is the write buffer in front of lower: a ring of
+	// drain-completion cycles, one per entry, with storeHead the oldest.
+	// Active only when lower is set and Config.StoreQueue > 0.
+	storeBusy []int64
+	storeHead int
 
 	Stats Stats
 }
@@ -145,31 +159,22 @@ func NewHierarchy(cfg Config) *Hierarchy {
 func (h *Hierarchy) Config() Config { return h.cfg }
 
 // SetLower routes the L1's miss fills and write-throughs through l
-// instead of the flat-latency DRAM port. Pass nil to restore the
-// default. Mutually exclusive with Record: the recorded stream exists
-// to replay the flat-latency run through a shared L2 afterwards.
-func (h *Hierarchy) SetLower(l Lower) { h.lower = l }
-
-// Record enables (or disables) recording of the DRAM-bound transaction
-// stream; Trace returns it.
-func (h *Hierarchy) Record(on bool) { h.recording = on }
-
-// Trace returns the recorded transaction stream in issue order.
-func (h *Hierarchy) Trace() []Access { return h.trace }
+// instead of the flat-latency DRAM port, and arms the store write
+// buffer (Config.StoreQueue). Pass nil to restore the default.
+func (h *Hierarchy) SetLower(l Lower) {
+	h.lower = l
+	if l != nil && h.cfg.StoreQueue > 0 && h.storeBusy == nil {
+		h.storeBusy = make([]int64, h.cfg.StoreQueue)
+	}
+}
 
 // below sends one transaction to the next level — the configured Lower
-// or the built-in DRAM port — recording it when enabled.
+// or the built-in DRAM port.
 func (h *Hierarchy) below(now int64, store bool, blockAddr uint32) int64 {
-	var ready int64
 	if h.lower != nil {
-		ready = h.lower.Access(now, store, blockAddr)
-	} else {
-		ready = h.port.Reserve(now, h.cfg.BlockBytes)
+		return h.lower.Access(now, store, blockAddr)
 	}
-	if h.recording {
-		h.trace = append(h.trace, Access{Cycle: now, Block: blockAddr, Store: store, Ready: ready})
-	}
-	return ready
+	return h.port.Reserve(now, h.cfg.BlockBytes)
 }
 
 // BlockAddr returns the block-aligned address containing addr.
@@ -214,13 +219,32 @@ func (h *Hierarchy) Load(now int64, blockAddr uint32) int64 {
 // Store presents one store transaction (write-through, no-allocate on
 // miss; hits refresh the line) and returns the cycle the LSU may retire
 // it. Store data does not stall dependents, but the transaction consumes
-// memory bandwidth.
+// memory bandwidth — and, with a lower level attached, a write-buffer
+// entry: a store arriving at a full buffer is accepted only once the
+// oldest entry drains, which the returned retire cycle carries back to
+// the LSU as back-pressure. The flat-latency path never gates stores.
+//
+//sbwi:hotpath
 func (h *Hierarchy) Store(now int64, blockAddr uint32) int64 {
 	h.Stats.Stores++
 	h.arr.lookup(blockAddr) // refresh LRU if present
-	h.below(now, true, blockAddr)
+	issue := now
+	if h.storeBusy != nil {
+		if t := h.storeBusy[h.storeHead]; t > issue {
+			h.Stats.StoreQueueStalls += uint64(t - issue)
+			issue = t
+		}
+	}
+	drained := h.below(issue, true, blockAddr)
+	if h.storeBusy != nil {
+		h.storeBusy[h.storeHead] = drained
+		h.storeHead++
+		if h.storeHead == len(h.storeBusy) {
+			h.storeHead = 0
+		}
+	}
 	h.Stats.BytesToMem += uint64(h.cfg.BlockBytes)
-	return now + h.cfg.HitLatency
+	return issue + h.cfg.HitLatency
 }
 
 // Probe reports whether blockAddr is present with its data arrived by

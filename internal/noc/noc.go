@@ -10,8 +10,8 @@
 // and their latency is folded into the single Latency parameter.
 //
 // The model is deterministic and single-threaded by design: a Crossbar
-// must only be driven from one goroutine (the device serializes all
-// shared-memory-system replay through one pass), so there are no locks
+// must only be driven from one goroutine (the device interleaves all
+// waves' traffic on one shared-clock driver), so there are no locks
 // to make timing depend on the host scheduler.
 package noc
 

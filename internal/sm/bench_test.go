@@ -79,30 +79,6 @@ func BenchmarkCycleLoop(b *testing.B) {
 	}
 }
 
-// BenchmarkReferenceLoop is the same compute kernel under the retained
-// full-rescan scheduler, so the event-driven speedup is measurable in
-// one benchstat column.
-func BenchmarkReferenceLoop(b *testing.B) {
-	for _, a := range []Arch{ArchBaseline, ArchSBISWI} {
-		a := a
-		b.Run(a.String(), func(b *testing.B) {
-			cfg := Configure(a)
-			cfg.ReferenceLoop = true
-			p, err := assembleBench(benchmarkLoopSrc, a)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				l := newLaunch(p, 4, 256, 4*256, 0)
-				if _, err := Run(cfg, l); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
-}
-
 // benchmarkLoopSrc is divergentLoopSrc with a shorter trip count so one
 // benchmark iteration stays in the microsecond range.
 const benchmarkLoopSrc = `

@@ -137,14 +137,6 @@ type Config struct {
 
 	Mem mem.Config
 
-	// ReferenceLoop disables the incrementally maintained issuable set
-	// and the idle-cycle fast-forward, forcing the original per-cycle
-	// full-rescan scheduling loop. The two paths are cycle- and
-	// statistics-identical by construction; the flag exists so tests can
-	// assert that equivalence and as a diagnostic escape hatch. It never
-	// changes results, only host speed.
-	ReferenceLoop bool
-
 	// Seed drives the secondary scheduler's tie-breaking PRNG.
 	Seed uint64
 
@@ -213,9 +205,9 @@ func Configure(a Arch) Config {
 // on. The digest is reflection-exhaustive: a field added to Config
 // changes fingerprints automatically instead of silently aliasing
 // cache entries. It deliberately includes fields that cannot change
-// Stats (ReferenceLoop is equivalence-tested, TraceCap only bounds the
-// recorded trace): including them costs at most a cache miss, while
-// excluding a result-bearing field would poison the cache.
+// Stats (TraceCap only bounds the recorded trace): including them
+// costs at most a cache miss, while excluding a result-bearing field
+// would poison the cache.
 func (c *Config) Fingerprint() uint64 {
 	return fingerprint.Hash(*c)
 }

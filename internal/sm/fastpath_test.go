@@ -1,129 +1,6 @@
 package sm
 
-import (
-	"math/rand"
-	"sort"
-	"testing"
-
-	"repro/internal/kernels"
-)
-
-// runPair simulates one launch twice — event-driven fast path versus
-// the retained reference rescan loop — and asserts every field of the
-// resulting Stats is identical. The fast path's contract is exactness,
-// not approximation: issue counts, cycles, scoreboard counters and
-// PRNG-tie-broken SWI pairings must all survive the rewrite bit-for-bit.
-func runPair(t *testing.T, cfg Config, b *kernels.Benchmark) {
-	t.Helper()
-	tf := cfg.Arch != ArchBaseline
-
-	lFast, err := b.NewLaunch(tf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	fast, err := Run(cfg, lFast)
-	if err != nil {
-		t.Fatalf("%s on %s (fast): %v", b.Name, cfg.Arch, err)
-	}
-
-	refCfg := cfg
-	refCfg.ReferenceLoop = true
-	lRef, err := b.NewLaunch(tf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ref, err := Run(refCfg, lRef)
-	if err != nil {
-		t.Fatalf("%s on %s (reference): %v", b.Name, cfg.Arch, err)
-	}
-
-	if fast.Stats != ref.Stats {
-		t.Errorf("%s on %s: fast path diverged from the reference loop\nfast: %+v\nref:  %+v",
-			b.Name, cfg.Arch, fast.Stats, ref.Stats)
-	}
-}
-
-// TestFastPathEquivalence runs a randomly chosen (fixed seed) subset of
-// the suite kernels on all five architectures with the event-driven
-// scheduler and with ReferenceLoop, asserting identical Stats. BFS and
-// Transpose are always included: they are memory-latency-bound, so they
-// exercise long idle spans and the skipped-cycle counter accounting.
-func TestFastPathEquivalence(t *testing.T) {
-	all := kernels.All()
-	rng := rand.New(rand.NewSource(20260726))
-	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
-
-	subset := map[string]*kernels.Benchmark{}
-	for _, name := range []string{"BFS", "Transpose"} {
-		if b, ok := kernels.ByName(name); ok {
-			subset[b.Name] = b
-		}
-	}
-	for _, b := range all {
-		if len(subset) >= 7 {
-			break
-		}
-		subset[b.Name] = b
-	}
-
-	names := make([]string, 0, len(subset))
-	for name := range subset { //sbwi:unordered names are sorted before use
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		b := subset[name]
-		for _, a := range Architectures() {
-			b, a := b, a
-			t.Run(b.Name+"/"+a.String(), func(t *testing.T) {
-				t.Parallel()
-				runPair(t, Configure(a), b)
-			})
-		}
-	}
-}
-
-// TestFastPathEquivalenceVariants covers the configuration corners with
-// their own idle-accounting shapes: a set-associative SWI lookup (the
-// substitute secondary probes a different buddy set each idle cycle,
-// so skipped-cycle counters depend on cycle residues), direct-mapped
-// lookup, memory-divergence splitting, and constraints off.
-func TestFastPathEquivalenceVariants(t *testing.T) {
-	bfs, ok := kernels.ByName("BFS")
-	if !ok {
-		t.Fatal("BFS missing")
-	}
-	mandel, ok := kernels.ByName("Mandelbrot")
-	if !ok {
-		t.Fatal("Mandelbrot missing")
-	}
-
-	assoc3 := Configure(ArchSWI)
-	assoc3.Assoc = 3
-	direct := Configure(ArchSBISWI)
-	direct.Assoc = 1
-	split := Configure(ArchSBISWI)
-	split.SplitOnMemDivergence = true
-	noCons := Configure(ArchSBI)
-	noCons.Constraints = false
-
-	for _, c := range []struct {
-		name string
-		cfg  Config
-	}{
-		{"swi-assoc3", assoc3},
-		{"sbiswi-direct", direct},
-		{"sbiswi-memsplit", split},
-		{"sbi-unconstrained", noCons},
-	} {
-		name, cfg := c.name, c.cfg
-		t.Run(name, func(t *testing.T) {
-			t.Parallel()
-			runPair(t, cfg, bfs)
-			runPair(t, cfg, mandel)
-		})
-	}
-}
+import "testing"
 
 // divergentLoopSrc keeps warps diverging and reconverging continuously:
 // a data-dependent if/else inside a long counted loop. It sustains the
@@ -231,28 +108,6 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 					t.Errorf("steady-state step allocates %.2f times per cycle, want 0", avg)
 				}
 			})
-		}
-	}
-}
-
-// TestReferenceLoopStillExact guards the retained slow path itself: the
-// reference loop must keep matching the functional simulator, so the
-// equivalence tests above compare against a meaningful oracle.
-func TestReferenceLoopStillExact(t *testing.T) {
-	cfg := Configure(ArchSBISWI)
-	cfg.ReferenceLoop = true
-	p := assembleFor(t, "loop", loopSrc, ArchSBISWI)
-	l := newLaunch(p, 4, 256, 4*256, 0)
-	if _, err := Run(cfg, l); err != nil {
-		t.Fatal(err)
-	}
-	lFast := newLaunch(assembleFor(t, "loop", loopSrc, ArchSBISWI), 4, 256, 4*256, 0)
-	if _, err := Run(Configure(ArchSBISWI), lFast); err != nil {
-		t.Fatal(err)
-	}
-	for i := range l.Global {
-		if l.Global[i] != lFast.Global[i] {
-			t.Fatalf("reference and fast paths disagree on memory at byte %d", i)
 		}
 	}
 }

@@ -90,8 +90,19 @@ func (s *SM) execMem(c *candidate) error {
 		if err := apply(c.mask); err != nil {
 			return err
 		}
+		// Store retire time carries write-buffer back-pressure: when the
+		// buffer in front of a modeled lower level is full, the hierarchy
+		// accepts the store late and the LSU stays occupied until then.
+		// The flat DRAM path always retires at now + HitLatency, leaving
+		// the reservation from issueLSU unchanged.
+		retire := int64(0)
 		for _, b := range txnBlocks {
-			s.hier.Store(s.now, b)
+			if r := s.hier.Store(s.now, b); r > retire {
+				retire = r
+			}
+		}
+		if hold := retire - s.cfg.Mem.HitLatency; hold > s.now {
+			s.units.holdLSU(hold)
 		}
 		s.advance(c, c.pc+1)
 		return nil

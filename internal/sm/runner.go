@@ -1,0 +1,64 @@
+package sm
+
+import "repro/internal/exec"
+
+// Runner exposes a single SM's simulation as an incrementally steppable
+// process, so the device layer can interleave several SMs against one
+// shared memory-system clock: the driver repeatedly steps the SM whose
+// local clock maps to the earliest device time, and each Step's memory
+// traffic enters the shared L2/NoC (through RunOpts.Lower) at exactly
+// that moment. A Runner is not safe for concurrent use; the device's
+// interleaver drives every Runner of a launch from one goroutine, which
+// is what makes the shared access order — and therefore all contention
+// counters — a pure function of the configuration.
+type Runner struct {
+	s    *SM
+	max  int64
+	done bool
+}
+
+// NewRunner builds a steppable SM over the CTA sub-range
+// [ctaStart, ctaEnd), validating the configuration and launch exactly
+// like RunRangeOpts.
+func NewRunner(cfg Config, l *exec.Launch, ctaStart, ctaEnd int, opts RunOpts) (*Runner, error) {
+	s, err := newSM(cfg, l, ctaStart, ctaEnd, opts)
+	if err != nil {
+		return nil, err
+	}
+	max := cfg.MaxCycles
+	if max <= 0 {
+		max = defaultMaxCycles
+	}
+	return &Runner{s: s, max: max}, nil
+}
+
+// Now returns the SM's local clock. During idle spans the fast-forward
+// inside Step advances it without emitting memory traffic, so the
+// device-time of the *next* possible access never precedes offset+Now().
+//
+//sbwi:hotpath
+func (r *Runner) Now() int64 { return r.s.now }
+
+// Done reports whether the sub-range has completed.
+func (r *Runner) Done() bool { return r.done }
+
+// Step advances the simulation by one front-end iteration (one
+// scheduling cycle plus any idle fast-forward). It reports completion;
+// further Steps after completion are no-ops.
+//
+//sbwi:hotpath
+func (r *Runner) Step() (bool, error) {
+	if r.done {
+		return true, nil
+	}
+	done, err := r.s.step(r.max)
+	if err != nil {
+		return false, err
+	}
+	r.done = done
+	return done, nil
+}
+
+// Result finalizes and returns the run statistics. Call once, after
+// Done.
+func (r *Runner) Result() *Result { return r.s.result() }

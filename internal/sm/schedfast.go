@@ -18,9 +18,12 @@ package sm
 //     times and the unit free times, and the scoreboard counters the
 //     skipped probes would have incremented are reproduced arithmetically.
 //
-// Both layers are cycle- and statistics-exact with the retained
-// reference loop (Config.ReferenceLoop); TestFastPathEquivalence
-// asserts identical Stats across kernels and architectures.
+// Both layers are cycle- and statistics-exact with the seed's rescan
+// loop by construction: they probe the same candidates in the same
+// ascending-warp order, so scoreboard counters and tie-breaking draws
+// are identical. (The retained reference loop that used to pin this
+// equivalence in-tree was retired once its history was established;
+// the golden-stats fixture still pins absolute results.)
 
 import (
 	"math"

@@ -67,33 +67,31 @@ type Result struct {
 	// Waves holds the per-wave statistics when a Device partitioned the
 	// launch into CTA waves simulated on independent SM instances; it is
 	// nil for a plain single-SM Run. Stats is the deterministic merge of
-	// the wave entries (wave order) — identical for any SM or worker
-	// count — plus, when the device models the shared memory system,
-	// the L2/NoC counters of the device-level replay (Stats.Mem.L2 and
-	// Stats.Mem.NoC, zero in every per-wave entry).
+	// the wave entries (wave order) plus, when the device models the
+	// shared memory system, the L2/NoC counters of the one shared L2 and
+	// crossbar every wave accessed inline (Stats.Mem.L2 and
+	// Stats.Mem.NoC, zero in every per-wave entry). Without the modeled
+	// memory system, merged Stats are identical for any SM or worker
+	// count; with it, the waves contend on one shared clock, so Stats
+	// depend on the configured SM count (the physical packing) but never
+	// on the host worker count.
 	Waves []Stats
 
 	// SMCycles is the per-SM busy-cycle total under the device's
 	// round-robin wave assignment (wave j runs on SM j mod N). Unlike
 	// Stats, it depends on the configured SM count: more SMs spread the
 	// same waves wider — and when the device models the shared L2 and
-	// interconnect, each SM's total also carries its contention stalls.
-	// Nil for a plain single-SM Run.
+	// interconnect, each wave's cycles already include the contention
+	// its accesses met on the shared clock. Nil for a plain single-SM
+	// Run.
 	SMCycles []int64
-
-	// MemTrace is the DRAM-bound transaction stream recorded when the
-	// run was asked to (RunOpts.RecordMemTrace); nil otherwise. The
-	// device replays these streams through the shared L2 and
-	// interconnect to model cross-SM contention.
-	MemTrace []mem.Access
 
 	// NoCPorts holds the per-SM interconnect port counters when the
 	// device models the shared memory system (port i belongs to SM i;
-	// length 1 for an unpartitioned single-SM run). Like SMCycles — and
-	// unlike the merged Stats.Mem.NoC counters, which come from the
-	// SM-count-independent canonical replay — it reflects the
-	// device-time packing, so it legitimately varies with the
-	// configured SM count. Nil under the flat-latency DRAM model.
+	// length 1 for an unpartitioned single-SM run). Taken live from the
+	// crossbar the waves accessed, so the per-port split reflects the
+	// device's wave-to-SM packing. Nil under the flat-latency DRAM
+	// model.
 	NoCPorts []noc.Stats
 }
 
@@ -152,13 +150,12 @@ type RunOpts struct {
 	// Lower, when non-nil, services the L1's miss fills and
 	// write-through stores in place of the flat-latency DRAM port —
 	// the device wires an interconnect port backed by the shared L2
-	// here. The Lower is called from the simulation goroutine, so a
-	// shared Lower must only be used by one run at a time.
+	// here. The Lower is called from the simulation goroutine at the
+	// cycle each transaction leaves the L1, so a shared Lower must only
+	// ever see one access stream at a time — the device interleaves
+	// concurrent waves onto a shared Lower through one serial driver
+	// (see sm.Runner and package device).
 	Lower mem.Lower
-
-	// RecordMemTrace makes the run record its DRAM-bound transaction
-	// stream into Result.MemTrace for the device's contention replay.
-	RecordMemTrace bool
 }
 
 // RunRange simulates the CTA sub-range [ctaStart, ctaEnd) of the launch
@@ -231,7 +228,6 @@ func newSM(cfg Config, l *exec.Launch, ctaStart, ctaEnd int, opts RunOpts) (*SM,
 	}
 	s.lookup = lk
 	s.hier.SetLower(opts.Lower)
-	s.hier.Record(opts.RecordMemTrace)
 	for i := range s.warps {
 		s.warps[i] = &warp{id: i}
 	}
@@ -318,7 +314,7 @@ func (s *SM) step(maxCycles int64) (bool, error) {
 	if s.now > maxCycles {
 		return false, s.livelockErr(maxCycles)
 	}
-	if !issued && !s.cfg.ReferenceLoop {
+	if !issued {
 		if err := s.fastForward(maxCycles); err != nil {
 			return false, err
 		}
@@ -339,7 +335,7 @@ func (s *SM) result() *Result {
 	s.stats.StructuralStalls = s.sb.Stats.Structural
 	s.stats.Mem = s.hier.Stats
 	s.collectHeapStats()
-	return &Result{Stats: s.stats, Trace: s.trace, MemTrace: s.hier.Trace()}
+	return &Result{Stats: s.stats, Trace: s.trace}
 }
 
 // collectHeapStats folds per-warp reconvergence statistics of the still
@@ -655,17 +651,13 @@ func (s *SM) primarySlot(w *warp) int {
 
 // selectPrimary picks the least-recently-issued ready (warp, split) in
 // the pool (oldest-first, §2) into out. pool is a parity filter for the
-// baseline and 0 for single-pool architectures. The fast path walks
-// only the incrementally maintained issuable set; the reference path
-// rescans every warp context. Both probe the same candidates in the
-// same (ascending warp) order, so scoreboard counters and tie-breaking
-// draws are identical.
+// baseline and 0 for single-pool architectures. The walk covers only
+// the incrementally maintained issuable set, in ascending warp order —
+// the order the seed's full rescan visited warps — so scoreboard
+// counters and tie-breaking draws match the original loop exactly.
 //
 //sbwi:hotpath
 func (s *SM) selectPrimary(pool int, out *candidate) bool {
-	if s.cfg.ReferenceLoop {
-		return s.selectPrimaryRef(pool, out)
-	}
 	parity := s.cfg.pools() == 2
 	found := false
 	var bestAge int64
@@ -685,30 +677,6 @@ func (s *SM) selectPrimary(pool int, out *candidate) bool {
 			if !found || age < bestAge {
 				*out, bestAge, found = cur, age, true
 			}
-		}
-	}
-	return found
-}
-
-// selectPrimaryRef is the retained full-rescan reference scheduler.
-func (s *SM) selectPrimaryRef(pool int, out *candidate) bool {
-	found := false
-	var bestAge int64
-	var cur candidate
-	for _, w := range s.warps {
-		if w.block == nil || w.done() || w.atBarrier {
-			continue
-		}
-		if s.cfg.pools() == 2 && w.id%2 != pool {
-			continue
-		}
-		slot := s.primarySlot(w)
-		if !s.eligibleRef(w, slot, &cur) {
-			continue
-		}
-		age := s.lastIssueOf(w, slot)
-		if !found || age < bestAge {
-			*out, bestAge, found = cur, age, true
 		}
 	}
 	return found
@@ -746,32 +714,6 @@ func (s *SM) probe(w *warp, slot int, out *candidate) bool {
 			return false
 		}
 		pc, mask, _ = w.stack.Active()
-	}
-	return s.finishCandidate(w, slot, pc, mask, out)
-}
-
-// eligibleRef re-derives eligibility from the warp context (reference
-// path) before the shared per-cycle checks: the split exists and is not
-// suspended, it has not issued this cycle, its dependencies cleared
-// IssueDelay cycles ago, and its target unit has capacity.
-func (s *SM) eligibleRef(w *warp, slot int, out *candidate) bool {
-	var pc int
-	var mask uint64
-	if w.heap != nil {
-		if !w.heap.Eligible(slot) {
-			return false
-		}
-		c := w.heap.Slot(slot)
-		if c == nil || c.LastIssue >= s.now {
-			return false
-		}
-		pc, mask = c.PC, c.Mask
-	} else {
-		var ok bool
-		pc, mask, ok = w.stack.Active()
-		if !ok || w.lastIssue >= s.now {
-			return false
-		}
 	}
 	return s.finishCandidate(w, slot, pc, mask, out)
 }
@@ -875,27 +817,27 @@ func (s *SM) seqCandidate(w *warp, primIns *isa.Instruction, primPC int, primMas
 // instruction whose lane mask does not conflict with the primary issue:
 // disjoint masks when sharing the MAD row, any mask when targeting a
 // free distinct unit (§4). Best fit maximizes occupied lanes; ties
-// break pseudo-randomly. Fast and reference paths visit the set in the
-// same ascending-warp order, so the tie list — and therefore the PRNG
-// draw sequence — is identical.
+// break pseudo-randomly. The bitset walk visits warps in ascending id —
+// the order the seed's rescan used — so the tie list, and therefore the
+// PRNG draw sequence, matches the original loop.
 //
 //sbwi:hotpath
 func (s *SM) swiSecondary(setIdx int, exclude *warp, primUnit isa.Unit, primLane uint64, out *candidate) bool {
 	ties := s.swiTies[:0]
 	bestFit := -1
 	var cur candidate
-	if s.cfg.ReferenceLoop {
-		for _, wid := range s.lookup.SetWarps(setIdx) {
-			w := s.warps[wid]
-			if w == exclude || w.block == nil || w.done() || w.atBarrier || w.heap == nil {
+	set := s.setBits[setIdx]
+	for base, word := range set {
+		word &= s.readySet[base]
+		for ; word != 0; word &= word - 1 {
+			id := base<<6 | bits.TrailingZeros64(word)
+			w := s.warps[id]
+			if w == exclude || w.heap == nil {
 				continue
 			}
-			slot := s.primarySlot(w)
-			if !w.heap.Eligible(slot) {
-				continue
-			}
+			slot := int(s.slotOf[id])
 			c := w.heap.Slot(slot)
-			if c == nil || c.LastIssue >= s.now {
+			if c.LastIssue >= s.now {
 				continue
 			}
 			fit, ok := s.swiProbe(w, slot, c.PC, c.Mask, primUnit, primLane, &cur)
@@ -907,33 +849,6 @@ func (s *SM) swiSecondary(setIdx int, exclude *warp, primUnit isa.Unit, primLane
 				ties, bestFit = append(ties[:0], cur), fit //sbwi:alloc-ok reuses s.swiTies scratch
 			case fit == bestFit:
 				ties = append(ties, cur) //sbwi:alloc-ok reuses s.swiTies scratch
-			}
-		}
-	} else {
-		set := s.setBits[setIdx]
-		for base, word := range set {
-			word &= s.readySet[base]
-			for ; word != 0; word &= word - 1 {
-				id := base<<6 | bits.TrailingZeros64(word)
-				w := s.warps[id]
-				if w == exclude || w.heap == nil {
-					continue
-				}
-				slot := int(s.slotOf[id])
-				c := w.heap.Slot(slot)
-				if c.LastIssue >= s.now {
-					continue
-				}
-				fit, ok := s.swiProbe(w, slot, c.PC, c.Mask, primUnit, primLane, &cur)
-				if !ok {
-					continue
-				}
-				switch {
-				case fit > bestFit:
-					ties, bestFit = append(ties[:0], cur), fit //sbwi:alloc-ok reuses s.swiTies scratch
-				case fit == bestFit:
-					ties = append(ties, cur) //sbwi:alloc-ok reuses s.swiTies scratch
-				}
 			}
 		}
 	}

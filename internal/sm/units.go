@@ -135,6 +135,18 @@ func (u *units) issueLSU(txns int64, now int64) {
 	u.lsuFree = now + txns
 }
 
+// holdLSU extends the LSU reservation through cycle t (exclusive) if it
+// would free earlier: memory-system back-pressure — a full store write
+// buffer — keeps the unit occupied until the hierarchy accepts the
+// transaction.
+//
+//sbwi:hotpath
+func (u *units) holdLSU(t int64) {
+	if t > u.lsuFree {
+		u.lsuFree = t
+	}
+}
+
 // lsuWaves returns the number of LSU-width thread groups of a warp with
 // at least one active thread (waves are formed in thread order, since
 // the LSU coalesces by thread addresses).

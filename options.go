@@ -103,10 +103,11 @@ func WithSimCache(c *SimCache) Option { return device.WithSimCache(c) }
 // interconnect (DefaultNoCConfig unless WithInterconnect overrides
 // it). Off by default — the seed's flat-latency DRAM model — so
 // default runs stay cycle-exact with the paper reproduction. With it
-// on, unpartitioned runs time every L1 miss through NoC port, L2 bank
-// and the shared DRAM port inline; partitioned runs replay all waves'
-// miss streams through one shared L2, surfacing L2/NoC counters in
-// Stats.Mem and folding cross-SM contention into DeviceCycles.
+// on, every run times L1 misses and write-through stores through NoC
+// port, L2 bank and the shared DRAM port inline — partitioned runs
+// interleave all waves against one shared memory-system clock —
+// surfacing L2/NoC counters in Stats.Mem and folding cross-SM
+// contention into issue timing and DeviceCycles.
 func WithL2(cfg L2Config) Option { return device.WithL2(cfg) }
 
 // WithInterconnect sets the SM↔L2 crossbar parameters and enables the

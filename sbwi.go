@@ -32,7 +32,8 @@ type (
 	Trace = sm.Trace
 	// Shuffle is a static lane-shuffling policy (paper table 1).
 	Shuffle = sched.Shuffle
-	// Benchmark is one entry of the paper's 21-kernel suite.
+	// Benchmark is one entry of the benchmark suite (the paper's 21
+	// kernels plus the synthetic WriteStorm store-saturation anchor).
 	Benchmark = kernels.Benchmark
 	// ExperimentTable is a rendered experiment (text or CSV).
 	ExperimentTable = experiments.Table
