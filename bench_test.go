@@ -275,6 +275,76 @@ func BenchmarkSuiteRunner(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceReplay prices the record-once / replay-per-point
+// engine on the memory-hierarchy sweep shape: the bandwidth-bound
+// benchmarks partitioned across 4 SMs behind the shared L2, one fresh
+// interconnect-bandwidth sweep point per iteration (every iteration
+// gets a distinct bandwidth — a repeated point would be a pure
+// result-cache hit and measure nothing). full-sim-per-point
+// re-simulates the functional layer at every point; replay-per-point
+// serves every point from the traces one pre-recorded run produced,
+// still running the complete scheduling/timing machinery — only branch
+// outcomes and effective addresses come from the table; record-once
+// prices the recording run itself. The suite is the replayable subset
+// of the memory-hierarchy benchmarks (BFS is outside the validity
+// domain and runs full simulations in both modes, so it would only
+// dilute the comparison).
+func BenchmarkTraceReplay(b *testing.B) {
+	var suite []*kernels.Benchmark
+	for _, name := range []string{"Transpose", "Histogram"} {
+		bench, ok := kernels.ByName(name)
+		if !ok {
+			b.Fatal("missing", name)
+		}
+		suite = append(suite, bench)
+	}
+	point := func(i int, extra ...Option) []Option {
+		nc := DefaultNoCConfig()
+		nc.BytesPerCycle = 2 + float64(i)
+		return append([]Option{
+			WithArch(SBISWI),
+			WithSMs(4),
+			WithGridPartition(true),
+			WithL2(DefaultL2Config()),
+			WithInterconnect(nc),
+		}, extra...)
+	}
+	run := func(b *testing.B, opts []Option) {
+		b.Helper()
+		dev, err := NewDevice(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		results, err := dev.RunSuite(context.Background(), suite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.Bench.Name, r.Err)
+			}
+		}
+	}
+	b.Run("full-sim-per-point", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, point(i))
+		}
+	})
+	b.Run("replay-per-point", func(b *testing.B) {
+		cache := NewSimCache()
+		run(b, point(0, WithSimCache(cache), WithTraceReplay(true)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, point(1+i, WithSimCache(cache), WithTraceReplay(true)))
+		}
+	})
+	b.Run("record-once", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, point(i, WithSimCache(NewSimCache()), WithTraceReplay(true)))
+		}
+	})
+}
+
 // BenchmarkKernel provides per-kernel micro-benchmarks of the cycle
 // simulator itself (simulation throughput, not modeled IPC), one
 // representative kernel per class.

@@ -7,6 +7,7 @@
 //	sbwi run -kernel BFS -sms 4 -partition
 //	sbwi run -kernel Transpose -sms 4 -partition -l2 [-noc-bw 8] [-noc-lat 20]
 //	sbwi run -kernel Histogram -streams 8 -workers 4
+//	sbwi run -kernel Transpose -trace-replay [-json]
 //	sbwi run -file kernel.asm -grid 4 -block 256 -global 65536 [-param N]...
 //	sbwi disasm -kernel BFS [-tf]
 //	sbwi pipeline-demo
@@ -99,10 +100,17 @@ func (p *uintList) Set(s string) error {
 // concurrent-launch count and the stats are stream 0's (the tool
 // verifies all N are bit-identical).
 type runReport struct {
-	Kernel         string          `json:"kernel"`
-	Arch           string          `json:"arch"`
-	SMs            int             `json:"sms"`
-	Streams        int             `json:"streams,omitempty"`
+	Kernel  string `json:"kernel"`
+	Arch    string `json:"arch"`
+	SMs     int    `json:"sms"`
+	Streams int    `json:"streams,omitempty"`
+
+	// Replayed reports whether the statistics came from a trace replay
+	// (-trace-replay, and the kernel passed the record-time race
+	// analysis) rather than a full simulation. Always emitted, so sweep
+	// tooling can tell the two apart.
+	Replayed bool `json:"replayed"`
+
 	IPC            float64         `json:"ipc"`
 	DeviceCycles   int64           `json:"deviceCycles"`
 	L2HitRate      float64         `json:"l2HitRate"`
@@ -122,6 +130,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "host worker-pool bound (0 = GOMAXPROCS)")
 	streams := fs.Int("streams", 1, "submit the launch N times across N concurrent streams (asynchronous launch mode; stats must come out bit-identical)")
 	l2 := fs.Bool("l2", false, "model the shared L2 + interconnect behind the L1s")
+	traceReplay := fs.Bool("trace-replay", false, "record the run's per-thread trace, then replay it and return the replayed (bit-identical) statistics; kernels with timing-dependent functional behavior fall back to the full simulation")
 	nocBW := fs.Float64("noc-bw", 0, "interconnect port bandwidth in bytes/cycle (>0 implies -l2; 0 leaves it unset)")
 	nocLat := fs.Int64("noc-lat", -1, "interconnect traversal latency in cycles (>=0 implies -l2; -1 leaves it unset)")
 	jsonOut := fs.Bool("json", false, "emit the merged statistics as JSON")
@@ -159,6 +168,9 @@ func run(args []string) error {
 	memsys := *l2 || *nocBW > 0 || *nocLat >= 0
 	if *streams < 1 {
 		return fmt.Errorf("-streams %d: need at least one stream", *streams)
+	}
+	if *traceReplay && *streams > 1 {
+		return fmt.Errorf("-trace-replay runs record+replay on one launch; it cannot be combined with -streams %d", *streams)
 	}
 	var reports []runReport
 	if !*jsonOut {
@@ -220,14 +232,22 @@ func run(args []string) error {
 				return nil, fmt.Errorf("need -kernel or -file")
 			}
 		}
-		res, err := runStreams(dev, makeLaunch, *streams)
+		var res *sbwi.Result
+		if *traceReplay {
+			var l *sbwi.Launch
+			if l, err = makeLaunch(); err == nil {
+				res, err = dev.RunTraceReplay(context.Background(), l)
+			}
+		} else {
+			res, err = runStreams(dev, makeLaunch, *streams)
+		}
 		if err != nil {
 			return err
 		}
 		stats := &res.Stats
 		if *jsonOut {
 			r := runReport{
-				Kernel: name, Arch: a.String(), SMs: *sms,
+				Kernel: name, Arch: a.String(), SMs: *sms, Replayed: res.Replayed,
 				IPC: stats.IPC(), DeviceCycles: res.DeviceCycles(),
 				L2HitRate:      stats.Mem.L2.HitRate(),
 				NoCQueueCycles: stats.Mem.NoC.QueueCycles,
@@ -245,6 +265,13 @@ func run(args []string) error {
 			stats.Divergences, stats.Merges)
 		if *streams > 1 {
 			fmt.Printf("%-10s   %d concurrent streams, per-launch stats bit-identical\n", "", *streams)
+		}
+		if *traceReplay {
+			mode := "full simulation (kernel outside the replay validity domain)"
+			if res.Replayed {
+				mode = "trace replay, bit-identical to the recording run"
+			}
+			fmt.Printf("%-10s   %s\n", "", mode)
 		}
 		if memsys {
 			l2s := &stats.Mem.L2
@@ -368,6 +395,9 @@ join:
 		cfg := dev.Config()
 		fmt.Printf("--- %s (IPC %.1f, %d cycles) ---\n", a, res.Stats.IPC(), res.Stats.Cycles)
 		fmt.Print(res.Trace.Lanes(cfg.WarpWidth))
+		if res.Trace.Dropped > 0 {
+			fmt.Printf("(trace capacity reached: %d later issue events not shown)\n", res.Trace.Dropped)
+		}
 		fmt.Println()
 	}
 	return nil

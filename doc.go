@@ -154,6 +154,34 @@
 // oracle images are memoized per benchmark, so a full experiments pass
 // derives each (kernel, configuration) cell exactly once.
 //
+// # Trace replay
+//
+// Timing sweeps re-simulate the same kernel while only parameters that
+// decide *when* things happen change — never what the threads compute.
+// WithTraceReplay(true) exploits that: the first configuration to run
+// a benchmark records a compact per-thread execution trace during one
+// full oracle-validated simulation (one bit per conditional-branch
+// execution, one effective address per global memory operation), and
+// every later timing configuration replays the trace — the complete
+// scheduling and timing machinery runs unchanged, but branch outcomes
+// and addresses come from the table, so the replay never decodes
+// operands, evaluates ALU lanes, or touches the global memory image.
+// Replayed statistics are bit-identical to full simulation for every
+// configuration in the trace's validity domain; Result.Replayed
+// reports which path produced a result.
+//
+// The validity domain is policed, never assumed. Traces are cached by
+// (benchmark, Config.FunctionalFingerprint) — the functional/timing
+// split of the reflection-exhaustive fingerprint — and a record-time
+// race analysis over the logged (block, barrier-epoch) access sets
+// marks kernels whose per-thread behavior is timing-dependent (BFS's
+// racy relaxation updates) as non-replayable: those fall back to full
+// simulation with the reason logged once (WithReplayLog), and a replay
+// whose streams desync at runtime fails loudly and falls back too.
+// The memory-hierarchy and exec-latency experiments route through the
+// engine; Device.RunTraceReplay is the one-launch entry point behind
+// `sbwi run -trace-replay`.
+//
 // # Memory hierarchy
 //
 // By default every SM sees the paper's memory model: a private 48 KB

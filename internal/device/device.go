@@ -94,6 +94,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -103,6 +105,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/replay"
 	"repro/internal/sm"
 )
 
@@ -134,10 +137,19 @@ type Device struct {
 	// across passes and devices (WithSimCache).
 	cache *SimCache
 
+	// traceReplay routes suite entries through the record-once /
+	// replay-per-point engine (WithTraceReplay); replayLog receives the
+	// fallback diagnostics.
+	traceReplay bool
+	replayLog   io.Writer
+
 	// cfgFP / memsysFP are the precomputed cache-key digests of the SM
-	// configuration and the modeled memory system.
+	// configuration and the modeled memory system; funcFP is the
+	// functional half of cfgFP — the trace-cache key (see
+	// sm.Config.FunctionalFingerprint).
 	cfgFP    uint64
 	memsysFP uint64
+	funcFP   uint64
 
 	// memsys enables the modeled L1→NoC→L2→DRAM hierarchy; l2cfg and
 	// noccfg are its validated parameters.
@@ -164,6 +176,8 @@ type settings struct {
 	noc         *noc.Config
 	queue       *RunQueue
 	streamDepth int
+	traceReplay bool
+	replayLog   io.Writer
 }
 
 // WithArch selects the modeled micro-architecture (default SBI+SWI) and
@@ -335,8 +349,19 @@ func New(opts ...Option) (*Device, error) {
 			return nil, fmt.Errorf("device: %w", err)
 		}
 	}
+	d.traceReplay = st.traceReplay
+	d.replayLog = st.replayLog
+	if d.replayLog == nil {
+		d.replayLog = os.Stderr
+	}
+	if d.traceReplay && d.cache == nil {
+		// Trace replay only pays off when traces outlive one entry; give
+		// the device a private cache when the caller didn't share one.
+		d.cache = NewSimCache()
+	}
 	d.cfgFP = d.cfg.Fingerprint()
 	d.memsysFP = d.memsysFingerprint()
+	d.funcFP = d.cfg.FunctionalFingerprint()
 	return d, nil
 }
 
@@ -371,6 +396,35 @@ func (d *Device) Run(ctx context.Context, l *exec.Launch) (*sm.Result, error) {
 // thread count for ad-hoc launches, measured-or-calibrated estimates
 // for suite entries.
 func (d *Device) run(ctx context.Context, l *exec.Launch, partition bool, cost int64) (*sm.Result, error) {
+	return d.runTraced(ctx, l, partition, cost, nil, nil)
+}
+
+// waveOpts threads the trace-replay machinery into one CTA range's SM
+// run: a fresh recorder sink when recording, a cursor session over the
+// range's threads when replaying (see package replay). Both nil is the
+// ordinary full simulation.
+func waveOpts(rec *replay.Recorder, tr *replay.Trace, ctaStart, ctaEnd int) (sm.RunOpts, error) {
+	var o sm.RunOpts
+	if rec != nil {
+		o.Record = rec.Sink()
+	}
+	if tr != nil {
+		s, err := replay.NewSession(tr, ctaStart, ctaEnd)
+		if err != nil {
+			return o, err
+		}
+		o.Replay = s
+	}
+	return o, nil
+}
+
+// runTraced is run with the trace-replay machinery made explicit: with
+// rec the full simulation additionally records per-thread traces; with
+// tr the functional layer is replaced by the recorded streams — global
+// memory is neither read nor written (so wave snapshots and the merge
+// are skipped) while every timing path runs exactly as in a full
+// simulation. At most one of rec/tr may be non-nil.
+func (d *Device) runTraced(ctx context.Context, l *exec.Launch, partition bool, cost int64, rec *replay.Recorder, tr *replay.Trace) (*sm.Result, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
@@ -390,14 +444,17 @@ func (d *Device) run(ctx context.Context, l *exec.Launch, partition bool, cost i
 			return nil, err
 		}
 		defer d.queue.release()
+		opts, err := waveOpts(rec, tr, 0, l.GridDim)
+		if err != nil {
+			return nil, err
+		}
 		if !d.memsys {
-			return sm.RunRange(ctx, d.cfg, l, 0, l.GridDim)
+			return sm.RunRangeOpts(ctx, d.cfg, l, 0, l.GridDim, opts)
 		}
 		l2 := mem.NewL2(d.l2cfg, d.cfg.Mem)
 		xbar := noc.New(d.noccfg, 1)
-		res, err := sm.RunRangeOpts(ctx, d.cfg, l, 0, l.GridDim, sm.RunOpts{
-			Lower: &l2Port{xbar: xbar, port: 0, l2: l2, blockBytes: d.cfg.Mem.BlockBytes},
-		})
+		opts.Lower = &l2Port{xbar: xbar, port: 0, l2: l2, blockBytes: d.cfg.Mem.BlockBytes}
+		res, err := sm.RunRangeOpts(ctx, d.cfg, l, 0, l.GridDim, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -410,14 +467,19 @@ func (d *Device) run(ctx context.Context, l *exec.Launch, partition bool, cost i
 	if d.memsys {
 		// Waves share one L2/NoC/DRAM pipeline inline on a single
 		// driving goroutine; see memsys.go.
-		return d.runWavesShared(ctx, l, waves, cost)
+		return d.runWavesShared(ctx, l, waves, cost, rec, tr)
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	base := make([]byte, len(l.Global))
-	copy(base, l.Global)
+	// A replayed launch never touches memory, so the waves share the
+	// launch as-is instead of each cloning the pre-launch image.
+	var base []byte
+	if tr == nil {
+		base = make([]byte, len(l.Global))
+		copy(base, l.Global)
+	}
 
 	type waveRun struct {
 		res    *sm.Result
@@ -438,8 +500,17 @@ func (d *Device) run(ctx context.Context, l *exec.Launch, partition bool, cost i
 				return
 			}
 			defer d.queue.release()
-			wl := l.CloneWithGlobal(base)
-			res, err := sm.RunRangeOpts(ctx, d.cfg, wl, start, end, sm.RunOpts{})
+			opts, err := waveOpts(rec, tr, start, end)
+			if err != nil {
+				runs[i].err = err
+				cancel()
+				return
+			}
+			wl := l
+			if tr == nil {
+				wl = l.CloneWithGlobal(base)
+			}
+			res, err := sm.RunRangeOpts(ctx, d.cfg, wl, start, end, opts)
 			if err != nil {
 				runs[i].err = err
 				cancel()
@@ -466,12 +537,14 @@ func (d *Device) run(ctx context.Context, l *exec.Launch, partition bool, cost i
 		return nil, firstErr
 	}
 
-	images := make([][]byte, len(runs))
-	for i := range runs {
-		images[i] = runs[i].global
-	}
-	if err := exec.MergeWaves(l.Global, base, images); err != nil {
-		return nil, fmt.Errorf("device: %s: %w", l.Prog.Name, err)
+	if tr == nil {
+		images := make([][]byte, len(runs))
+		for i := range runs {
+			images[i] = runs[i].global
+		}
+		if err := exec.MergeWaves(l.Global, base, images); err != nil {
+			return nil, fmt.Errorf("device: %s: %w", l.Prog.Name, err)
+		}
 	}
 
 	out := &sm.Result{
@@ -615,14 +688,20 @@ func (d *Device) partitionPlan(suite []*kernels.Benchmark) []bool {
 }
 
 // runSuiteEntry runs one suite entry through the cache (when attached)
-// and records its measured cost for future scheduling.
+// and records its measured cost for future scheduling. With trace
+// replay enabled the fill itself goes through the record-once /
+// replay-per-point engine (replay.go); the result cache in front of it
+// still keys on the full configuration, so each sweep point simulates
+// (or replays) at most once.
 func (d *Device) runSuiteEntry(ctx context.Context, b *kernels.Benchmark, partition bool) (*sm.Result, error) {
 	if d.cache == nil {
 		return d.runBenchmark(ctx, b, partition)
 	}
-	return d.cache.getOrRun(ctx, d.simKeyFor(b, partition), func() (*sm.Result, error) {
-		return d.runBenchmark(ctx, b, partition)
-	})
+	fill := func() (*sm.Result, error) { return d.runBenchmark(ctx, b, partition) }
+	if d.traceReplay {
+		fill = func() (*sm.Result, error) { return d.runBenchmarkTraced(ctx, b, partition) }
+	}
+	return d.cache.getOrRun(ctx, d.simKeyFor(b, partition), fill)
 }
 
 // runBenchmark builds the benchmark's launch for the device's

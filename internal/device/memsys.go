@@ -7,6 +7,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/replay"
 	"repro/internal/sm"
 )
 
@@ -79,8 +80,10 @@ type smSlot struct {
 // memory system: one goroutine interleaves every CTA wave on the
 // configured SMs so all of them contend for one L2/crossbar/DRAM
 // pipeline inline. See the file comment for the model and the
-// determinism argument.
-func (d *Device) runWavesShared(ctx context.Context, l *exec.Launch, waves [][2]int, cost int64) (*sm.Result, error) {
+// determinism argument. rec/tr thread the trace-replay machinery into
+// every wave (see Device.runTraced): a replayed run skips the per-wave
+// image snapshots and the final merge because no wave touches memory.
+func (d *Device) runWavesShared(ctx context.Context, l *exec.Launch, waves [][2]int, cost int64, rec *replay.Recorder, tr *replay.Trace) (*sm.Result, error) {
 	// The driver is one goroutine however many SMs it interleaves, so it
 	// occupies a single run-queue slot at the launch's full cost.
 	if err := d.queue.acquire(ctx, cost); err != nil {
@@ -88,8 +91,11 @@ func (d *Device) runWavesShared(ctx context.Context, l *exec.Launch, waves [][2]
 	}
 	defer d.queue.release()
 
-	base := make([]byte, len(l.Global))
-	copy(base, l.Global)
+	var base []byte
+	if tr == nil {
+		base = make([]byte, len(l.Global))
+		copy(base, l.Global)
+	}
 
 	l2 := mem.NewL2(d.l2cfg, d.cfg.Mem)
 	xbar := noc.New(d.noccfg, d.sms)
@@ -102,9 +108,17 @@ func (d *Device) runWavesShared(ctx context.Context, l *exec.Launch, waves [][2]
 
 	slots := make([]smSlot, d.sms)
 	start := func(sl *smSlot, w int) error {
-		wl := l.CloneWithGlobal(base)
+		wl := l
+		if tr == nil {
+			wl = l.CloneWithGlobal(base)
+		}
 		sl.port.offset = sl.offset
-		run, err := sm.NewRunner(d.cfg, wl, waves[w][0], waves[w][1], sm.RunOpts{Lower: sl.port})
+		opts, err := waveOpts(rec, tr, waves[w][0], waves[w][1])
+		if err != nil {
+			return err
+		}
+		opts.Lower = sl.port
+		run, err := sm.NewRunner(d.cfg, wl, waves[w][0], waves[w][1], opts)
 		if err != nil {
 			return err
 		}
@@ -162,12 +176,14 @@ func (d *Device) runWavesShared(ctx context.Context, l *exec.Launch, waves [][2]
 		}
 	}
 
-	images := make([][]byte, len(runs))
-	for i := range runs {
-		images[i] = runs[i].global
-	}
-	if err := exec.MergeWaves(l.Global, base, images); err != nil {
-		return nil, fmt.Errorf("device: %s: %w", l.Prog.Name, err)
+	if tr == nil {
+		images := make([][]byte, len(runs))
+		for i := range runs {
+			images[i] = runs[i].global
+		}
+		if err := exec.MergeWaves(l.Global, base, images); err != nil {
+			return nil, fmt.Errorf("device: %s: %w", l.Prog.Name, err)
+		}
 	}
 
 	out := &sm.Result{

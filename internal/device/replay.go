@@ -1,0 +1,183 @@
+package device
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/exec"
+	"repro/internal/kernels"
+	"repro/internal/replay"
+	"repro/internal/sm"
+)
+
+// Table-driven trace replay: record a launch once, re-time it for every
+// sweep point.
+//
+// A parameter sweep re-simulates the same benchmark under
+// configurations that change only *when* things happen — latencies,
+// unit counts, NoC bandwidth, L2 geometry — never *what* the threads
+// compute. The first sweep point therefore runs one full simulation
+// that records a compact per-thread trace (package replay: one bit per
+// conditional branch, one effective address per global memory
+// operation); every later point replays the trace through the complete
+// scheduling and timing machinery without decoding operands, executing
+// ALU ops, or touching global memory. Replayed statistics are
+// bit-identical to a full simulation for every configuration inside the
+// trace's validity domain — the replay engine runs the *same* timing
+// code over the *same* per-thread functional behavior, it only sources
+// branch outcomes and addresses from the table instead of the register
+// file.
+//
+// The validity domain is policed at record time: the recorder logs
+// every memory access with its block and barrier epoch, and the race
+// analysis in replay.Recorder.Finalize marks the trace non-replayable
+// when any unordered pair of accesses conflicts (per-thread functional
+// behavior is then timing-dependent, e.g. the racy relaxation updates
+// of BFS). Non-replayable benchmarks fall back to full simulation with
+// the reason logged once — never a silently wrong number. As a second
+// line of defense, a replay whose streams desync at runtime (a
+// configuration that changes functional behavior despite an equal
+// functional fingerprint would do this) fails loudly and falls back
+// too.
+//
+// Traces are cached by (benchmark, functional fingerprint) — see
+// sm.Config.FunctionalFingerprint for the functional/timing split —
+// so one recording serves every timing configuration of a sweep, on
+// every device sharing the SimCache.
+
+// WithTraceReplay routes RunSuite entries through the record-once /
+// replay-per-point engine: the first configuration to run a benchmark
+// records its per-thread execution trace, and every later timing
+// configuration replays the trace instead of re-simulating the
+// functional layer — bit-identical statistics at a fraction of the
+// cost. Benchmarks whose traces fail the record-time race analysis
+// fall back to full simulation with the reason logged (WithReplayLog).
+// Off by default. Implies a private SimCache when none is shared, so
+// traces outlive single entries.
+func WithTraceReplay(on bool) Option {
+	return func(s *settings) { s.traceReplay = on }
+}
+
+// WithReplayLog directs the trace-replay fallback diagnostics (the
+// one-line reasons benchmarks are simulated in full instead of
+// replayed) to w. Default: os.Stderr. A nil w keeps the default.
+func WithReplayLog(w io.Writer) Option {
+	return func(s *settings) { s.replayLog = w }
+}
+
+// runBenchmarkTraced is the trace-replay fill for one suite entry:
+// record on the first configuration to arrive, replay on every later
+// one, full simulation when the benchmark is out of the validity
+// domain.
+func (d *Device) runBenchmarkTraced(ctx context.Context, b *kernels.Benchmark, partition bool) (*sm.Result, error) {
+	tr, res, err := d.cache.traceOrRecord(ctx, traceKey{b.Name, d.funcFP}, func() (*replay.Trace, *sm.Result, error) {
+		return d.recordBenchmark(ctx, b, partition)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res != nil {
+		// This call performed the recording; its full-simulation result
+		// is the sweep point's result.
+		return res, nil
+	}
+	if !tr.Replayable {
+		// The reason was logged once when the trace was recorded.
+		return d.runBenchmark(ctx, b, partition)
+	}
+	res, err = d.replayBenchmark(ctx, b, partition, tr)
+	if err != nil {
+		if isCtxErr(err) {
+			return nil, err
+		}
+		// A desynced replay means this configuration left the validity
+		// domain at runtime; fall back loudly rather than guess.
+		fmt.Fprintf(d.replayLog, "device: trace replay of %s on %s fell back to full simulation: %v\n", b.Name, d.cfg.Arch, err)
+		return d.runBenchmark(ctx, b, partition)
+	}
+	return res, nil
+}
+
+// recordBenchmark runs one full, oracle-checked simulation of the
+// benchmark while recording its per-thread trace, and finalizes the
+// trace (including the race analysis deciding replayability).
+func (d *Device) recordBenchmark(ctx context.Context, b *kernels.Benchmark, partition bool) (*replay.Trace, *sm.Result, error) {
+	l, err := b.NewLaunch(d.cfg.Arch != sm.ArchBaseline)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := replay.NewRecorder(l.GridDim, l.BlockDim)
+	res, err := d.runTraced(ctx, l, partition, estimatedCost(b, d.cfgFP), rec, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("device: %s on %s: %w", b.Name, d.cfg.Arch, err)
+	}
+	if !bytes.Equal(l.Global, b.Expected()) {
+		return nil, nil, fmt.Errorf("device: %s on %s: simulation diverged from reference", b.Name, d.cfg.Arch)
+	}
+	recordCost(b, d.cfgFP, res)
+	tr := rec.Finalize()
+	if !tr.Replayable {
+		fmt.Fprintf(d.replayLog, "device: %s on %s is outside the trace-replay validity domain, sweep points run full simulations: %s\n", b.Name, d.cfg.Arch, tr.Reason)
+	}
+	return tr, res, nil
+}
+
+// replayBenchmark re-times the benchmark from its recorded trace. The
+// oracle check is skipped by design: a replay never touches the global
+// image (the recording run already validated the functional behavior
+// the trace encodes).
+func (d *Device) replayBenchmark(ctx context.Context, b *kernels.Benchmark, partition bool, tr *replay.Trace) (*sm.Result, error) {
+	l, err := b.NewLaunch(d.cfg.Arch != sm.ArchBaseline)
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.runTraced(ctx, l, partition, estimatedCost(b, d.cfgFP), nil, tr)
+	if err != nil {
+		return nil, err
+	}
+	res.Replayed = true
+	recordCost(b, d.cfgFP, res)
+	return res, nil
+}
+
+// RunTraceReplay simulates the launch in full while recording its
+// trace, then — when the trace passes the race analysis — replays it
+// on the same configuration and checks the replayed statistics are
+// bit-identical to the recorded run before returning them (with
+// Result.Replayed set). An out-of-domain launch returns the full
+// simulation's result, Replayed false, with the reason logged. Global
+// memory is mutated by the recording run exactly as Run would; the
+// replay never touches it. This is the one-launch entry point behind
+// `sbwi run -trace-replay`; sweeps go through RunSuite on a
+// WithTraceReplay device instead, where recording happens once per
+// benchmark rather than once per call.
+func (d *Device) RunTraceReplay(ctx context.Context, l *exec.Launch) (*sm.Result, error) {
+	d.inflight.add()
+	defer d.inflight.finish()
+
+	rec := replay.NewRecorder(l.GridDim, l.BlockDim)
+	res, err := d.runTraced(ctx, l, d.partition, launchCost(l), rec, nil)
+	if err != nil {
+		return nil, err
+	}
+	tr := rec.Finalize()
+	if !tr.Replayable {
+		fmt.Fprintf(d.replayLog, "device: %s is outside the trace-replay validity domain, ran a full simulation: %s\n", l.Prog.Name, tr.Reason)
+		return res, nil
+	}
+	rres, err := d.runTraced(ctx, l, d.partition, launchCost(l), nil, tr)
+	if err != nil {
+		if isCtxErr(err) {
+			return nil, err
+		}
+		fmt.Fprintf(d.replayLog, "device: trace replay of %s fell back to the full simulation's result: %v\n", l.Prog.Name, err)
+		return res, nil
+	}
+	if rres.Stats != res.Stats {
+		return nil, fmt.Errorf("device: %s: replayed statistics diverged from the recorded run", l.Prog.Name)
+	}
+	rres.Replayed = true
+	return rres, nil
+}

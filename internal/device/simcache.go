@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fingerprint"
 	"repro/internal/kernels"
+	"repro/internal/replay"
 	"repro/internal/sm"
 )
 
@@ -73,6 +74,14 @@ type SimCache struct {
 	mu sync.Mutex
 	m  map[simKey]*simEntry
 
+	// traces memoizes recorded per-thread execution traces for the
+	// trace-replay engine (WithTraceReplay). The key is deliberately
+	// coarser than simKey — just the benchmark and the *functional*
+	// fingerprint — because a trace is valid for every timing
+	// configuration (sm.Config.FunctionalFingerprint documents the
+	// split): one recording serves a whole sweep.
+	traces map[traceKey]*traceEntry
+
 	hits, misses uint64
 }
 
@@ -81,8 +90,23 @@ type simEntry struct {
 	res  *sm.Result    // nil if the fill failed (entry already removed)
 }
 
+// traceKey identifies one recorded trace: the benchmark (deterministic
+// generator + kernel, so the name pins the launch) and the functional
+// configuration fingerprint (the executed program variant).
+type traceKey struct {
+	bench  string
+	funcFP uint64
+}
+
+type traceEntry struct {
+	done chan struct{} // closed once the recording attempt finished
+	tr   *replay.Trace // nil if the recording failed (entry already removed)
+}
+
 // NewSimCache returns an empty simulation cache.
-func NewSimCache() *SimCache { return &SimCache{m: make(map[simKey]*simEntry)} }
+func NewSimCache() *SimCache {
+	return &SimCache{m: make(map[simKey]*simEntry), traces: make(map[traceKey]*traceEntry)}
+}
 
 // Hits returns how many lookups were served from a completed entry.
 func (c *SimCache) Hits() uint64 { c.mu.Lock(); defer c.mu.Unlock(); return c.hits }
@@ -155,6 +179,58 @@ func (c *SimCache) getOrRun(ctx context.Context, key simKey, fill func() (*sm.Re
 			// Loop: either pick up the result or become the new filler.
 		case <-ctx.Done():
 			return nil, ctx.Err()
+		}
+	}
+}
+
+// traceOrRecord returns the cached execution trace for key, or calls
+// record once to produce it (alongside the recording run's full
+// result, which doubles as that sweep point's result). Concurrent
+// callers with the same key wait for the in-flight recording instead
+// of duplicating it, exactly like getOrRun; a failed recording is not
+// cached, so a waiter (or the next pass) retries. On a hit the result
+// is (trace, nil, nil) — only the recording caller ever sees a
+// non-nil *sm.Result. Note that a non-replayable trace is still a
+// cached verdict: later points skip straight to full simulation
+// without re-deriving (or re-logging) the reason.
+func (c *SimCache) traceOrRecord(ctx context.Context, key traceKey, record func() (*replay.Trace, *sm.Result, error)) (*replay.Trace, *sm.Result, error) {
+	for {
+		c.mu.Lock()
+		e, ok := c.traces[key]
+		if !ok {
+			e = &traceEntry{done: make(chan struct{})}
+			c.traces[key] = e
+			c.mu.Unlock()
+
+			tr, res, err := record()
+			c.mu.Lock()
+			if err != nil {
+				delete(c.traces, key) // let a waiter (or the next pass) retry
+			} else {
+				e.tr = tr
+			}
+			close(e.done)
+			c.mu.Unlock()
+			return tr, res, err
+		}
+		select {
+		case <-e.done:
+			if e.tr != nil {
+				c.mu.Unlock()
+				return e.tr, nil, nil
+			}
+			// The recording we would have waited on failed; loop to pick
+			// up a replacement or become the new recorder ourselves.
+			c.mu.Unlock()
+			continue
+		default:
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			// Loop: either pick up the trace or become the new recorder.
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
 		}
 	}
 }

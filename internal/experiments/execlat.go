@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/kernels"
+	"repro/internal/sm"
+)
+
+// execLatencies are the studied register-to-register execution
+// latencies in cycles; 8 is the paper's table-2 value.
+var execLatencies = []int64{2, 4, 8, 16, 32}
+
+// AblationExecLatency sweeps the execution latency over the irregular
+// suite on SBI+SWI. The sweep is the canonical trace-replay customer:
+// ExecLatency changes only when results write back, never what threads
+// compute, so the first latency point records each benchmark's
+// per-thread trace and every other point replays it through the full
+// timing machinery — bit-identical statistics without re-executing a
+// single instruction. Benchmarks outside the replay validity domain
+// (racy kernels: BFS, the TMD pair) fall back to full simulation with
+// the reason logged once.
+func (r *Runner) AblationExecLatency() (*Table, error) {
+	suite := kernels.Irregular()
+	t := &Table{
+		Title: "Ablation: execution latency vs IPC (SBI+SWI), re-timed by trace replay",
+		Note:  "8 cyc is the paper's table-2 latency; points after the first replay its recorded traces (racy kernels fall back to full simulation)",
+	}
+	for _, lat := range execLatencies {
+		t.Cols = append(t.Cols, fmt.Sprintf("%d cyc", lat))
+	}
+
+	// One replay-enabled device per latency, all sharing the runner's
+	// simulation cache (which also holds the traces) and run queue. The
+	// latency points run in order so the recording point is
+	// deterministic; within a point RunSuite fans the benchmarks out
+	// across the worker pool.
+	cells := make(map[runKey]*sm.Stats)
+	for _, lat := range execLatencies {
+		cfg := sm.Configure(sm.ArchSBISWI)
+		cfg.ExecLatency = lat
+		dev, err := device.New(
+			device.WithConfig(cfg),
+			device.WithRunQueue(r.runQueue()),
+			device.WithSimCache(r.sims),
+			device.WithTraceReplay(true),
+		)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		results, err := dev.RunSuite(context.Background(), suite)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				return nil, fmt.Errorf("experiments: %w", res.Err)
+			}
+			s := res.Result.Stats
+			cells[configKey(res.Name(), &cfg)] = &s
+		}
+	}
+
+	ratios := make([][]float64, len(execLatencies))
+	for _, b := range suite {
+		row := Row{Name: b.Name}
+		for i, lat := range execLatencies {
+			cfg := sm.Configure(sm.ArchSBISWI)
+			cfg.ExecLatency = lat
+			s := cells[configKey(b.Name, &cfg)]
+			row.Cells = append(row.Cells, num(s.IPC()))
+			if !excludeFromMeans(b.Name) {
+				ratios[i] = append(ratios[i], s.IPC())
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mean := Row{Name: "Gmean"}
+	for i := range execLatencies {
+		mean.Cells = append(mean.Cells, num(gmean(ratios[i])))
+	}
+	t.Rows = append(t.Rows, mean)
+	return t, nil
+}

@@ -85,7 +85,12 @@ func (r *Runner) MemoryHierarchy() (*Table, error) {
 // the shared memory system enabled when ncfg is non-nil. Runs go
 // through RunSuite on the runner's shared queue, so the simulation
 // cache memoizes each (benchmark, SM count, interconnect) cell across
-// passes.
+// passes. The sweep is trace-replay routed: the first cell of a
+// benchmark records its execution trace, and the remaining bandwidth
+// points replay it through the shared-clock interleaver — the NoC and
+// L2 parameters are timing-domain, so replayed statistics are
+// bit-identical to full simulations (racy benchmarks like BFS fall
+// back, with the reason logged once).
 func (r *Runner) memsysRun(b *kernels.Benchmark, sms int, ncfg *noc.Config) (*sm.Result, error) {
 	opts := []device.Option{
 		device.WithArch(sm.ArchSBISWI),
@@ -93,6 +98,7 @@ func (r *Runner) memsysRun(b *kernels.Benchmark, sms int, ncfg *noc.Config) (*sm
 		device.WithGridPartition(true),
 		device.WithRunQueue(r.runQueue()),
 		device.WithSimCache(r.sims),
+		device.WithTraceReplay(true),
 	}
 	if ncfg != nil {
 		opts = append(opts, device.WithInterconnect(*ncfg))

@@ -108,8 +108,8 @@ func Table4() *Table {
 var Experiments = []string{
 	"fig7a", "fig7b", "fig8a", "fig8b", "fig9",
 	"table2", "table3", "table4",
-	"ablation-scoreboard", "ablation-memsplit", "heap-pressure",
-	"memory-hierarchy",
+	"ablation-scoreboard", "ablation-memsplit", "ablation-execlat",
+	"heap-pressure", "memory-hierarchy",
 }
 
 // Run executes one experiment by name.
@@ -135,6 +135,8 @@ func (r *Runner) Run(name string) (*Table, error) {
 		return r.AblationScoreboard()
 	case "ablation-memsplit":
 		return r.AblationMemSplit()
+	case "ablation-execlat":
+		return r.AblationExecLatency()
 	case "heap-pressure":
 		return r.HeapPressure()
 	case "memory-hierarchy":

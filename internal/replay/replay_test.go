@@ -1,0 +1,234 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	r := NewRecorder(2, 2) // threads 0..3
+	k := r.Sink()
+	if !k.Matches(2, 2) || k.Matches(2, 4) {
+		t.Fatal("sink geometry check wrong")
+	}
+
+	// Thread 1: branch pattern spanning a word boundary plus addresses.
+	pattern := func(i int) bool { return i%3 == 0 }
+	for i := 0; i < 70; i++ {
+		k.Branch(1, pattern(i))
+	}
+	k.Mem(1, 0, 0, 0x40, true, false)
+	k.Mem(1, 0, 0, 0x44, true, true)
+	// Thread 2: shared access only — no address stream entry.
+	k.Mem(2, 1, 0, 0x10, false, false)
+
+	tr := r.Finalize()
+	if !tr.Replayable {
+		t.Fatalf("race-free recording not replayable: %s", tr.Reason)
+	}
+	if !tr.Matches(2, 2) || tr.Matches(1, 2) || tr.Threads() != 4 {
+		t.Fatal("trace geometry wrong")
+	}
+
+	s, err := NewSession(tr, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 70; i++ {
+		taken, ok := s.Branch(1)
+		if !ok || taken != pattern(i) {
+			t.Fatalf("branch %d: got (%v, %v), want (%v, true)", i, taken, ok, pattern(i))
+		}
+	}
+	if _, ok := s.Branch(1); ok {
+		t.Fatal("exhausted branch stream still returned ok")
+	}
+
+	// Peek is idempotent; only Consume advances.
+	for i := 0; i < 3; i++ {
+		if a, ok := s.PeekAddr(1); !ok || a != 0x40 {
+			t.Fatalf("peek %d: got (%#x, %v), want (0x40, true)", i, a, ok)
+		}
+	}
+	s.ConsumeAddr(1)
+	if a, ok := s.PeekAddr(1); !ok || a != 0x44 {
+		t.Fatalf("after consume: got (%#x, %v), want (0x44, true)", a, ok)
+	}
+	s.ConsumeAddr(1)
+	if _, ok := s.PeekAddr(1); ok {
+		t.Fatal("exhausted address stream still returned ok")
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatalf("fully consumed session: %v", err)
+	}
+}
+
+func TestFinishDetectsLeftovers(t *testing.T) {
+	r := NewRecorder(1, 2)
+	k := r.Sink()
+	k.Branch(0, true)
+	k.Mem(1, 0, 0, 0x8, true, false)
+	tr := r.Finalize()
+
+	s, err := NewSession(tr, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finish(); err == nil || !strings.Contains(err.Error(), "branch outcomes") {
+		t.Fatalf("unconsumed branch stream not reported: %v", err)
+	}
+	s.Branch(0)
+	if err := s.Finish(); err == nil || !strings.Contains(err.Error(), "memory addresses") {
+		t.Fatalf("unconsumed address stream not reported: %v", err)
+	}
+	s.ConsumeAddr(1)
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	r := NewRecorder(4, 8)
+	tr := r.Finalize()
+	if _, err := NewSession(tr, 0, 5); err == nil {
+		t.Fatal("range beyond the grid accepted")
+	}
+	if _, err := NewSession(tr, 2, 2); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	s, err := NewSession(tr, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Matches(4, 8, 1, 3) || s.Matches(4, 8, 0, 3) || s.Matches(4, 4, 1, 3) {
+		t.Fatal("session geometry check wrong")
+	}
+
+	racy := NewRecorder(1, 2)
+	k := racy.Sink()
+	k.Mem(0, 0, 0, 0x0, true, true)
+	k.Mem(1, 0, 0, 0x0, true, false)
+	if _, err := NewSession(racy.Finalize(), 0, 1); err == nil {
+		t.Fatal("session over a non-replayable trace accepted")
+	}
+}
+
+// raceCase builds an access log via a sink and returns the verdict.
+func verdict(t *testing.T, accesses func(k *Sink)) (bool, string) {
+	t.Helper()
+	r := NewRecorder(2, 4)
+	k := r.Sink()
+	accesses(k)
+	tr := r.Finalize()
+	return tr.Replayable, tr.Reason
+}
+
+func TestRaceAnalysis(t *testing.T) {
+	cases := []struct {
+		name     string
+		accesses func(k *Sink)
+		want     bool
+		reason   string // substring of Reason when !want
+	}{
+		{"read-read shared word", func(k *Sink) {
+			k.Mem(0, 0, 0, 0x20, true, false)
+			k.Mem(1, 0, 0, 0x20, true, false)
+			k.Mem(5, 1, 0, 0x20, true, false)
+		}, true, ""},
+		{"disjoint words", func(k *Sink) {
+			k.Mem(0, 0, 0, 0x20, true, true)
+			k.Mem(1, 0, 0, 0x24, true, true)
+		}, true, ""},
+		{"same-thread store then load", func(k *Sink) {
+			k.Mem(3, 0, 0, 0x20, true, true)
+			k.Mem(3, 0, 0, 0x20, true, false)
+		}, true, ""},
+		{"store+load, same block, same epoch", func(k *Sink) {
+			k.Mem(0, 0, 0, 0x20, true, true)
+			k.Mem(1, 0, 0, 0x20, true, false)
+		}, false, "unordered threads"},
+		{"store+store, same block, same epoch", func(k *Sink) {
+			k.Mem(0, 0, 0, 0x20, true, true)
+			k.Mem(1, 0, 0, 0x20, true, true)
+		}, false, "unordered threads"},
+		{"store+load ordered by a barrier", func(k *Sink) {
+			k.Mem(0, 0, 0, 0x20, true, true)
+			k.Mem(1, 0, 1, 0x20, true, false)
+		}, true, ""},
+		{"store+store across epochs", func(k *Sink) {
+			k.Mem(0, 0, 0, 0x20, true, true)
+			k.Mem(1, 0, 1, 0x20, true, true)
+		}, true, ""},
+		{"cross-block store+load", func(k *Sink) {
+			k.Mem(0, 0, 0, 0x20, true, true)
+			k.Mem(5, 1, 0, 0x20, true, false)
+		}, false, "unordered blocks"},
+		{"cross-block store+load, barriers irrelevant", func(k *Sink) {
+			k.Mem(0, 0, 3, 0x20, true, true)
+			k.Mem(5, 1, 7, 0x20, true, false)
+		}, false, "unordered blocks"},
+		{"shared conflict inside one block", func(k *Sink) {
+			k.Mem(0, 0, 0, 0x10, false, true)
+			k.Mem(1, 0, 0, 0x10, false, false)
+		}, false, "shared word"},
+		{"shared words in different blocks never alias", func(k *Sink) {
+			k.Mem(0, 0, 0, 0x10, false, true)
+			k.Mem(5, 1, 0, 0x10, false, true)
+		}, true, ""},
+		{"shared and global words never alias", func(k *Sink) {
+			k.Mem(0, 0, 0, 0x10, false, true)
+			k.Mem(1, 0, 0, 0x10, true, false)
+		}, true, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ok, reason := verdict(t, c.accesses)
+			if ok != c.want {
+				t.Fatalf("replayable = %v (%s), want %v", ok, reason, c.want)
+			}
+			if !c.want && !strings.Contains(reason, c.reason) {
+				t.Fatalf("reason %q does not mention %q", reason, c.reason)
+			}
+		})
+	}
+}
+
+// TestRaceVerdictOrderIndependent feeds the same access set through
+// sinks in different interleavings and expects one verdict: the race
+// analysis must be a pure function of the set, not of the
+// nondeterministic order concurrent recording appended in.
+func TestRaceVerdictOrderIndependent(t *testing.T) {
+	type acc struct {
+		tid, cta, epoch int
+		addr            uint32
+		store           bool
+	}
+	accs := []acc{
+		{0, 0, 0, 0x20, false},
+		{1, 0, 0, 0x24, true},
+		{5, 1, 0, 0x20, true},
+		{6, 1, 1, 0x28, false},
+	}
+	var want string
+	for rot := 0; rot < len(accs); rot++ {
+		r := NewRecorder(2, 4)
+		ka, kb := r.Sink(), r.Sink()
+		for i := range accs {
+			a := accs[(i+rot)%len(accs)]
+			k := ka
+			if i%2 == 1 {
+				k = kb
+			}
+			k.Mem(a.tid, a.cta, a.epoch, a.addr, true, a.store)
+		}
+		tr := r.Finalize()
+		if tr.Replayable {
+			t.Fatal("cross-block store on word 0x20 not detected")
+		}
+		if rot == 0 {
+			want = tr.Reason
+		} else if tr.Reason != want {
+			t.Fatalf("rotation %d: reason %q != %q", rot, tr.Reason, want)
+		}
+	}
+}

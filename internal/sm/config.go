@@ -212,6 +212,36 @@ func (c *Config) Fingerprint() uint64 {
 	return fingerprint.Hash(*c)
 }
 
+// functionalFields names the Config fields that select *what* a launch
+// computes rather than *when*: Arch picks the executed program variant
+// (plain RecPC-annotated code for the baseline stack vs the
+// SYNC-instrumented thread-frontier variant) and is kept whole —
+// conservatively, since the thread-frontier architectures share a
+// program, but per-architecture trace keying costs one extra recording
+// per sweep at most. Every other field is timing-domain: the replay
+// engine re-runs the full scheduling/timing machinery, so latencies,
+// unit geometry, scheduler knobs, seeds and the memory hierarchy may
+// all change between record and replay (package replay documents why).
+// A future field added to Config lands in the timing digest by
+// default; if it ever changes functional behavior it MUST be added
+// here, or the trace cache would alias functionally different runs.
+var functionalFields = map[string]bool{"Arch": true}
+
+// FunctionalFingerprint digests the functional subset of the
+// configuration — the trace-cache key half: two configurations with
+// equal functional fingerprints record identical per-thread traces for
+// identical launches.
+func (c *Config) FunctionalFingerprint() uint64 {
+	return fingerprint.HashFields(*c, func(f string) bool { return functionalFields[f] })
+}
+
+// TimingFingerprint digests the complementary timing subset; the two
+// split digests together cover every Config field, which
+// TestFingerprintSplit pins.
+func (c *Config) TimingFingerprint() uint64 {
+	return fingerprint.HashFields(*c, func(f string) bool { return !functionalFields[f] })
+}
+
 // usesHeap reports whether the architecture reconverges via the
 // thread-frontier heap (vs. the baseline stack).
 func (c *Config) usesHeap() bool { return c.Arch != ArchBaseline }

@@ -1,6 +1,11 @@
 package sm
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/replay"
+)
 
 // divergentLoopSrc keeps warps diverging and reconverging continuously:
 // a data-dependent if/else inside a long counted loop. It sustains the
@@ -106,6 +111,61 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 				})
 				if avg != 0 {
 					t.Errorf("steady-state step allocates %.2f times per cycle, want 0", avg)
+				}
+			})
+		}
+	}
+
+	// Replay mode must be equally allocation-free: the replay-walk
+	// cursors (Branch, PeekAddr, ConsumeAddr) replace the functional
+	// layer in the same hot loop, so a replayed event gets the same
+	// zero-allocation budget as a simulated one. The shorter benchmark
+	// kernels keep the record-time full run cheap; 1000 steps stay well
+	// inside their steady state.
+	replayKernels := []struct {
+		name, src string
+		params    []uint32
+		words     int
+	}{
+		{"divergent-loop", benchmarkLoopSrc, []uint32{0}, 4 * 256},
+		{"mem-idle", benchmarkMemSrc, []uint32{0, 4 * 256 * 4}, 4*256 + 65536},
+	}
+	for _, k := range replayKernels {
+		for _, a := range []Arch{ArchBaseline, ArchSBI, ArchSWI, ArchSBISWI} {
+			t.Run("replay/"+k.name+"/"+a.String(), func(t *testing.T) {
+				cfg := Configure(a)
+				p := assembleFor(t, k.name, k.src, a)
+				mk := func() *exec.Launch { return newLaunch(p, 4, 256, k.words, k.params...) }
+				tr, _ := recordTrace(t, cfg, mk)
+				if !tr.Replayable {
+					t.Fatalf("recording flagged the kernel racy: %s", tr.Reason)
+				}
+				l := mk()
+				sess, err := replay.NewSession(tr, 0, l.GridDim)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := newSM(cfg, l, 0, l.GridDim, RunOpts{Replay: sess})
+				if err != nil {
+					t.Fatal(err)
+				}
+				const maxCycles = int64(1) << 30
+				for i := 0; i < 600; i++ {
+					done, err := s.step(maxCycles)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if done {
+						t.Fatalf("kernel finished during warm-up after %d cycles — lengthen it", s.now)
+					}
+				}
+				avg := testing.AllocsPerRun(400, func() {
+					if _, err := s.step(maxCycles); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if avg != 0 {
+					t.Errorf("steady-state replayed step allocates %.2f times per cycle, want 0", avg)
 				}
 			})
 		}

@@ -67,6 +67,47 @@ func perturbLeaves(t *testing.T, v reflect.Value, path string, check func(string
 	}
 }
 
+// TestFingerprintSplit pins the functional/timing digest split the
+// trace cache keys on: together the two digests cover every Config
+// field (perturbing any leaf moves exactly one of them), and each
+// field lands in the digest functionalFields assigns it to. A new
+// Config field automatically lands in the timing digest; if it changes
+// functional behavior it must be added to functionalFields, and this
+// test documents which digest reacts.
+func TestFingerprintSplit(t *testing.T) {
+	base := Configure(ArchSBISWI)
+	refFunc := base.FunctionalFingerprint()
+	refTiming := base.TimingFingerprint()
+
+	v := reflect.ValueOf(&base).Elem()
+	total := 0
+	for i := 0; i < v.NumField(); i++ {
+		name := v.Type().Field(i).Name
+		wantFunctional := functionalFields[name]
+		total += perturbLeaves(t, v.Field(i), "Config."+name, func(path string) {
+			funcMoved := base.FunctionalFingerprint() != refFunc
+			timingMoved := base.TimingFingerprint() != refTiming
+			if funcMoved != wantFunctional {
+				t.Errorf("perturbing %s: functional digest moved = %v, want %v", path, funcMoved, wantFunctional)
+			}
+			if timingMoved == wantFunctional {
+				t.Errorf("perturbing %s: timing digest moved = %v, want %v", path, timingMoved, !wantFunctional)
+			}
+		})
+	}
+	if total < 20 {
+		t.Fatalf("only %d leaves perturbed — reflection walk is broken", total)
+	}
+
+	// The split must separate the program variants: the baseline runs
+	// un-instrumented code, so its traces may not alias the
+	// thread-frontier architectures'.
+	b, s := Configure(ArchBaseline), Configure(ArchSBISWI)
+	if b.FunctionalFingerprint() == s.FunctionalFingerprint() {
+		t.Error("Baseline and SBI+SWI share a functional fingerprint")
+	}
+}
+
 func TestFingerprintDistinguishesArchitectures(t *testing.T) {
 	seen := map[uint64]Arch{}
 	for _, a := range Architectures() {

@@ -18,8 +18,9 @@ import (
 func (s *SM) execMem(c *candidate) error {
 	w, ins := c.w, c.ins
 
+	global := ins.Op.IsGlobal()
 	space, image := "global", s.launch.Global
-	if !ins.Op.IsGlobal() {
+	if !global {
 		space, image = "shared", w.block.shared
 	}
 
@@ -27,13 +28,48 @@ func (s *SM) execMem(c *candidate) error {
 	// the threads that advance past the instruction: under
 	// memory-divergence splitting the miss threads replay the whole
 	// load later, so their registers (including a destination that
-	// doubles as the address register) must stay untouched.
+	// doubles as the address register) must stay untouched. A replayed
+	// run peeks the recorded address stream instead — without
+	// consuming: a re-visit of the same load (miss threads under
+	// memory-divergence splitting) must see the same address, exactly
+	// as recomputing it from untouched registers would.
 	var addrs [64]uint32
-	for m := c.mask; m != 0; m &= m - 1 {
-		t := bits.TrailingZeros64(m)
-		addrs[t] = exec.EffAddr(ins, &w.regs[t])
+	if s.rp != nil {
+		if global {
+			base := s.gtidBase(w)
+			for m := c.mask; m != 0; m &= m - 1 {
+				t := bits.TrailingZeros64(m)
+				a, ok := s.rp.PeekAddr(base + t)
+				if !ok {
+					return s.replayDesync(c.pc, base+t)
+				}
+				addrs[t] = a
+			}
+		}
+		// Shared accesses need no addresses when replaying: their
+		// timing depends only on the thread mask (lsuWaves), and the
+		// shared image is never touched.
+	} else {
+		for m := c.mask; m != 0; m &= m - 1 {
+			t := bits.TrailingZeros64(m)
+			addrs[t] = exec.EffAddr(ins, &w.regs[t])
+		}
 	}
+	// apply commits the architectural effect for the threads that
+	// advance past the instruction. Replaying, the effect is consuming
+	// the peeked address-stream entries (global only) — memory and
+	// registers stay untouched. Recording additionally logs each
+	// advanced access for the race analysis.
 	apply := func(mask uint64) error { //sbwi:alloc-ok non-escaping; called directly in this frame (zero-alloc test pins it)
+		if s.rp != nil {
+			if global {
+				base := s.gtidBase(w)
+				for m := mask; m != 0; m &= m - 1 {
+					s.rp.ConsumeAddr(base + bits.TrailingZeros64(m))
+				}
+			}
+			return nil
+		}
 		for m := mask; m != 0; m &= m - 1 {
 			t := bits.TrailingZeros64(m)
 			r := &w.regs[t]
@@ -45,6 +81,14 @@ func (s *SM) execMem(c *candidate) error {
 				r[ins.Dst] = v
 			} else if err := exec.Store32(space, image, addrs[t], r[ins.SrcC], c.pc); err != nil {
 				return err
+			}
+		}
+		if s.rec != nil {
+			base := s.gtidBase(w)
+			epoch := int(w.block.epoch)
+			for m := mask; m != 0; m &= m - 1 {
+				t := bits.TrailingZeros64(m)
+				s.rec.Mem(base+t, w.block.cta, epoch, addrs[t], global, !ins.Op.IsLoad())
 			}
 		}
 		return nil

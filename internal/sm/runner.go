@@ -55,6 +55,11 @@ func (r *Runner) Step() (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	if done {
+		if err := r.s.finishReplay(); err != nil {
+			return false, err
+		}
+	}
 	r.done = done
 	return done, nil
 }

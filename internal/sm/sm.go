@@ -11,6 +11,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/reconv"
+	"repro/internal/replay"
 	"repro/internal/sched"
 )
 
@@ -55,6 +56,16 @@ type SM struct {
 	txnReady []int64
 	idleBuf  []idleCand
 
+	// rec / rp wire the trace-replay engine (package replay): with rec,
+	// this full simulation additionally streams per-thread branch
+	// outcomes and memory addresses into a recording; with rp, the
+	// functional layer is skipped entirely and those streams are read
+	// back instead — the scheduler, scoreboard, reconvergence and
+	// memory-timing machinery still run for real, which is what keeps
+	// replayed Stats bit-identical. At most one of the two is non-nil.
+	rec *replay.Sink
+	rp  *replay.Session
+
 	stats Stats
 	trace *Trace
 }
@@ -93,6 +104,12 @@ type Result struct {
 	// device's wave-to-SM packing. Nil under the flat-latency DRAM
 	// model.
 	NoCPorts []noc.Stats
+
+	// Replayed reports that the result was produced by the trace-replay
+	// engine (device.WithTraceReplay) instead of a full simulation;
+	// Stats are bit-identical either way, but a replayed run leaves the
+	// launch's global memory untouched.
+	Replayed bool
 }
 
 // DeviceCycles returns the modeled device wall-clock: the busiest SM's
@@ -156,6 +173,21 @@ type RunOpts struct {
 	// concurrent waves onto a shared Lower through one serial driver
 	// (see sm.Runner and package device).
 	Lower mem.Lower
+
+	// Record, when non-nil, streams this full simulation's per-thread
+	// branch outcomes and memory addresses into a trace recording (one
+	// sink per SM instance; see replay.Recorder). Functional execution
+	// is unchanged.
+	Record *replay.Sink
+
+	// Replay, when non-nil, replaces functional execution with the
+	// recorded streams: no operand decode, no ALU evaluation, no
+	// load/store — global memory stays untouched — while all scheduling
+	// and timing machinery runs for real. The run fails loudly if the
+	// replayed execution diverges from the recording (the configuration
+	// left the trace's validity domain). Mutually exclusive with
+	// Record.
+	Replay *replay.Session
 }
 
 // RunRange simulates the CTA sub-range [ctaStart, ctaEnd) of the launch
@@ -227,6 +259,16 @@ func newSM(cfg Config, l *exec.Launch, ctaStart, ctaEnd int, opts RunOpts) (*SM,
 		return nil, err
 	}
 	s.lookup = lk
+	if opts.Record != nil && opts.Replay != nil {
+		return nil, fmt.Errorf("sm: %s: a run cannot both record and replay a trace", l.Prog.Name)
+	}
+	if opts.Record != nil && !opts.Record.Matches(l.GridDim, l.BlockDim) {
+		return nil, fmt.Errorf("sm: %s: trace recorder sized for a different launch geometry", l.Prog.Name)
+	}
+	if opts.Replay != nil && !opts.Replay.Matches(l.GridDim, l.BlockDim, ctaStart, ctaEnd) {
+		return nil, fmt.Errorf("sm: %s: replay session covers a different launch geometry or CTA range", l.Prog.Name)
+	}
+	s.rec, s.rp = opts.Record, opts.Replay
 	s.hier.SetLower(opts.Lower)
 	for i := range s.warps {
 		s.warps[i] = &warp{id: i}
@@ -287,9 +329,23 @@ func (s *SM) run(ctx context.Context) error {
 			return err
 		}
 		if done {
-			return nil
+			return s.finishReplay()
 		}
 	}
+}
+
+// finishReplay verifies, at completion of a replayed run, that every
+// covered thread consumed its recorded streams exactly — the backstop
+// against a timing configuration that silently left the trace's
+// validity domain. No-op for normal runs.
+func (s *SM) finishReplay() error {
+	if s.rp == nil {
+		return nil
+	}
+	if err := s.rp.Finish(); err != nil {
+		return fmt.Errorf("sm: %s: %w", s.prog.Name, err)
+	}
+	return nil
 }
 
 // step advances the simulation by one front-end iteration: block
@@ -442,9 +498,14 @@ func (s *SM) launchBlocks() {
 }
 
 // startBlock initializes warp state for one CTA. ws may be scratch; the
-// block keeps its own copy.
+// block keeps its own copy. A replayed run skips the per-thread
+// register and environment setup (and the shared-memory image): the
+// functional layer never executes, so none of it would be read.
 func (s *SM) startBlock(cta int, ws []*warp) {
-	b := &block{cta: cta, warps: append([]*warp(nil), ws...), shared: make([]byte, s.prog.SharedMem)}
+	b := &block{cta: cta, warps: append([]*warp(nil), ws...)}
+	if s.rp == nil {
+		b.shared = make([]byte, s.prog.SharedMem)
+	}
 	b.live = len(b.warps)
 	for wi, w := range b.warps {
 		w.block = b
@@ -453,12 +514,6 @@ func (s *SM) startBlock(cta int, ws []*warp) {
 		w.atBarrier = false
 		w.deadCounted = false
 		w.lastIssue = -1
-		if cap(w.regs) < s.cfg.WarpWidth {
-			w.regs = make([]exec.Regs, s.cfg.WarpWidth)
-			w.envs = make([]exec.Env, s.cfg.WarpWidth)
-		}
-		w.regs = w.regs[:s.cfg.WarpWidth]
-		w.envs = w.envs[:s.cfg.WarpWidth]
 		if w.laneOf == nil {
 			w.laneOf = s.cfg.Shuffle.Permutation(w.id, s.cfg.WarpWidth, s.cfg.NumWarps)
 			w.identity = true
@@ -469,6 +524,28 @@ func (s *SM) startBlock(cta int, ws []*warp) {
 				}
 			}
 		}
+		if s.rp != nil {
+			for t := 0; t < s.cfg.WarpWidth; t++ {
+				if w.base+t < s.launch.BlockDim {
+					w.valid |= 1 << uint(t)
+				}
+			}
+			if s.cfg.usesHeap() {
+				w.heap = reconv.NewHeap(w.valid, s.cfg.CCTCap)
+				w.stack = nil
+			} else {
+				w.stack = reconv.NewStack(w.valid)
+				w.heap = nil
+			}
+			s.refreshWarp(w)
+			continue
+		}
+		if cap(w.regs) < s.cfg.WarpWidth {
+			w.regs = make([]exec.Regs, s.cfg.WarpWidth)
+			w.envs = make([]exec.Env, s.cfg.WarpWidth)
+		}
+		w.regs = w.regs[:s.cfg.WarpWidth]
+		w.envs = w.envs[:s.cfg.WarpWidth]
 		for t := 0; t < s.cfg.WarpWidth; t++ {
 			tid := w.base + t
 			w.regs[t] = exec.Regs{}
@@ -520,6 +597,7 @@ func (s *SM) releaseBarriers() {
 			s.refreshWarp(w)
 		}
 		b.arrived = 0
+		b.epoch++ // accesses after the release are barrier-ordered against those before
 	}
 }
 
@@ -929,7 +1007,7 @@ func (s *SM) issue(c *candidate, secondary bool, p prov) error {
 		err = s.execBar(c)
 	case ins.Op == isa.OpBra:
 		s.countInstr(ins, active)
-		s.execBranch(c)
+		err = s.execBranch(c)
 	case ins.Op.IsMemory():
 		s.countInstr(ins, active)
 		err = s.execMem(c)
@@ -977,34 +1055,77 @@ func (s *SM) advance(c *candidate, nextPC int) {
 }
 
 // execALU evaluates a MAD- or SFU-class instruction for the active
-// threads and schedules its writeback.
+// threads and schedules its writeback. A replayed run skips the
+// per-lane evaluation — ALU results only feed later branch outcomes
+// and addresses, which the trace already holds — and keeps the
+// identical scoreboard and control bookkeeping.
 //
 //sbwi:hotpath
 func (s *SM) execALU(c *candidate) {
 	w, ins := c.w, c.ins
-	for m := c.mask; m != 0; m &= m - 1 {
-		t := bits.TrailingZeros64(m)
-		w.regs[t][ins.Dst] = exec.EvalALU(ins, &w.regs[t], &w.envs[t])
+	if s.rp == nil {
+		for m := c.mask; m != 0; m &= m - 1 {
+			t := bits.TrailingZeros64(m)
+			w.regs[t][ins.Dst] = exec.EvalALU(ins, &w.regs[t], &w.envs[t])
+		}
 	}
 	s.sb.Issue(w.id, ins, c.slot, c.mask, s.now+s.cfg.ExecLatency)
 	s.advance(c, c.pc+1)
 }
 
-// execBranch resolves a branch; a divergent outcome is the cycle's
-// single warp-split creation event.
+// gtidBase returns the warp's first global thread id — the index space
+// of the trace-replay streams.
 //
 //sbwi:hotpath
-func (s *SM) execBranch(c *candidate) {
+func (s *SM) gtidBase(w *warp) int {
+	return w.block.cta*s.launch.BlockDim + w.base
+}
+
+// replayDesync builds the error for a replayed execution that asked
+// for more stream entries than the recording holds.
+func (s *SM) replayDesync(pc, tid int) error {
+	return fmt.Errorf("sm: %s: pc %d: replay stream exhausted for thread %d — execution diverged from the recording (configuration outside the trace's validity domain)",
+		s.prog.Name, pc, tid)
+}
+
+// execBranch resolves a branch; a divergent outcome is the cycle's
+// single warp-split creation event. Conditional outcomes come from the
+// per-lane predicate evaluation, or — replaying — from the recorded
+// per-thread outcome stream; recording logs each evaluated outcome.
+//
+//sbwi:hotpath
+func (s *SM) execBranch(c *candidate) error {
 	w, ins := c.w, c.ins
 	if ins.SrcA == isa.RegNone {
 		s.advance(c, ins.Target)
-		return
+		return nil
 	}
 	var taken uint64
-	for m := c.mask; m != 0; m &= m - 1 {
-		t := bits.TrailingZeros64(m)
-		if exec.BranchTaken(ins, &w.regs[t]) {
-			taken |= 1 << uint(t)
+	if s.rp != nil {
+		base := s.gtidBase(w)
+		for m := c.mask; m != 0; m &= m - 1 {
+			t := bits.TrailingZeros64(m)
+			bit, ok := s.rp.Branch(base + t)
+			if !ok {
+				return s.replayDesync(c.pc, base+t)
+			}
+			if bit {
+				taken |= 1 << uint(t)
+			}
+		}
+	} else {
+		for m := c.mask; m != 0; m &= m - 1 {
+			t := bits.TrailingZeros64(m)
+			if exec.BranchTaken(ins, &w.regs[t]) {
+				taken |= 1 << uint(t)
+			}
+		}
+		if s.rec != nil {
+			base := s.gtidBase(w)
+			for m := c.mask; m != 0; m &= m - 1 {
+				t := bits.TrailingZeros64(m)
+				s.rec.Branch(base+t, taken>>uint(t)&1 == 1)
+			}
 		}
 	}
 	switch {
@@ -1020,6 +1141,7 @@ func (s *SM) execBranch(c *candidate) {
 			w.stack.Diverge(c.pc, ins.Target, ins.RecPC, taken)
 		}
 	}
+	return nil
 }
 
 // execSync applies the selective synchronization barrier (§3.3).

@@ -17,6 +17,12 @@ type block struct {
 	shared  []byte
 	live    int // warps with unfinished threads
 	arrived int // live warps waiting at the block barrier
+
+	// epoch counts the block's barrier releases; the trace recorder
+	// logs it with every memory access, because two intra-block
+	// accesses are ordered exactly when their epochs differ (package
+	// replay's race analysis).
+	epoch int32
 }
 
 // barrierReady reports whether every live warp has arrived at the block

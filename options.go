@@ -1,6 +1,8 @@
 package sbwi
 
 import (
+	"io"
+
 	"repro/internal/device"
 	"repro/internal/mem"
 	"repro/internal/noc"
@@ -97,6 +99,24 @@ func WithAutoPartition(on bool) Option { return device.WithAutoPartition(on) }
 // the cache were oracle-validated when first computed and must be
 // treated as read-only. See NewSimCache.
 func WithSimCache(c *SimCache) Option { return device.WithSimCache(c) }
+
+// WithTraceReplay routes RunSuite entries through the record-once /
+// replay-per-point engine: the first configuration to run a benchmark
+// records its compact per-thread execution trace (one bit per
+// conditional branch, one address per global memory operation), and
+// every later timing configuration replays the trace through the full
+// scheduling/timing machinery instead of re-simulating the functional
+// layer — bit-identical statistics at a fraction of the cost.
+// Benchmarks whose record-time race analysis finds timing-dependent
+// functional behavior fall back to full simulation with the reason
+// logged (WithReplayLog); Result.Replayed reports which path produced
+// a result. Off by default. Implies a private SimCache when none is
+// shared.
+func WithTraceReplay(on bool) Option { return device.WithTraceReplay(on) }
+
+// WithReplayLog directs the trace-replay fallback diagnostics to w
+// (default: os.Stderr). A nil w keeps the default.
+func WithReplayLog(w io.Writer) Option { return device.WithReplayLog(w) }
 
 // WithL2 models the shared memory system: a banked, MSHR-backed L2
 // between every SM's L1 and global memory, reached over the

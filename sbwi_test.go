@@ -167,7 +167,7 @@ func TestBenchmarksExposed(t *testing.T) {
 
 func TestExperimentsExposed(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 12 { // 5 figures + 3 tables + 3 ablations + memory-hierarchy
+	if len(names) != 13 { // 5 figures + 3 tables + 4 ablations + memory-hierarchy
 		t.Errorf("experiments = %v", names)
 	}
 	r := NewExperiments()
