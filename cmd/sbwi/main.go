@@ -3,7 +3,7 @@
 // Usage:
 //
 //	sbwi list
-//	sbwi run -kernel MatrixMul [-arch SBI+SWI] [-all] [-json]
+//	sbwi run -kernel MatrixMul [-arch SBI+SWI] [-all] [-json] [-timeout 30s]
 //	sbwi run -kernel BFS -sms 4 -partition
 //	sbwi run -kernel Transpose -sms 4 -partition -l2 [-noc-bw 8] [-noc-lat 20]
 //	sbwi run -kernel Histogram -streams 8 -workers 4
@@ -117,6 +117,13 @@ type runReport struct {
 	NoCQueueCycles uint64          `json:"nocQueueCycles"`
 	NoCPorts       []sbwi.NoCStats `json:"nocPorts,omitempty"`
 	Stats          *sbwi.Stats     `json:"stats"`
+
+	// Error reports a failed simulation (watchdog timeout, livelock,
+	// cancellation); the numeric fields are zero and Stats is null. In
+	// -json mode a failing architecture yields a report with this field
+	// instead of aborting the whole run, so -all sweeps keep their
+	// surviving columns.
+	Error string `json:"error,omitempty"`
 }
 
 func run(args []string) error {
@@ -134,6 +141,7 @@ func run(args []string) error {
 	nocBW := fs.Float64("noc-bw", 0, "interconnect port bandwidth in bytes/cycle (>0 implies -l2; 0 leaves it unset)")
 	nocLat := fs.Int64("noc-lat", -1, "interconnect traversal latency in cycles (>=0 implies -l2; -1 leaves it unset)")
 	jsonOut := fs.Bool("json", false, "emit the merged statistics as JSON")
+	timeout := fs.Duration("timeout", 0, "wall-clock watchdog per launch (e.g. 30s; 0 disables); an exceeded launch aborts with a partial-state diagnostic")
 	grid := fs.Int("grid", 4, "grid dimension (with -file)")
 	block := fs.Int("block", 256, "block dimension (with -file)")
 	globalBytes := fs.Int("global", 1<<16, "global memory bytes (with -file)")
@@ -183,6 +191,7 @@ func run(args []string) error {
 			sbwi.WithSMs(*sms),
 			sbwi.WithGridPartition(*partition),
 			sbwi.WithWorkers(*workers),
+			sbwi.WithLaunchTimeout(*timeout),
 		}
 		if memsys {
 			ncfg := sbwi.DefaultNoCConfig()
@@ -242,6 +251,10 @@ func run(args []string) error {
 			res, err = runStreams(dev, makeLaunch, *streams)
 		}
 		if err != nil {
+			if *jsonOut {
+				reports = append(reports, runReport{Kernel: name, Arch: a.String(), SMs: *sms, Error: err.Error()})
+				continue
+			}
 			return err
 		}
 		stats := &res.Stats

@@ -213,6 +213,25 @@
 // experiment sweeps the port bandwidth on the bandwidth-bound suite
 // kernels and reports the per-SM queueing skew.
 //
+// # Failure semantics
+//
+// Every failure is typed and contained. A panic in any device
+// goroutine converts to a *PanicError failing only its owning launch,
+// stream or suite entry — the device and its other streams stay
+// usable. A simulation exceeding Config.MaxCycles fails with a
+// *LivelockError, and WithLaunchTimeout(d) adds a host wall-clock
+// watchdog producing a *TimeoutError (errors.Is(err,
+// ErrLaunchTimeout)); both carry a partial-state snapshot of the stuck
+// SM. The simulation cache never stores failed results, WithRetry(n)
+// re-runs transiently failed suite entries with exponential backoff,
+// and trace-replay failures fall back to full simulation with the
+// reason logged. A failed stream operation poisons the entries
+// enqueued after it on that stream (wrapping the original error);
+// other streams are unaffected. The hardening is exercised by the
+// seeded fault-injection plane in internal/faultinject and the chaos
+// suite in internal/device; see the README's "Failure semantics"
+// section.
+//
 // # Simulation speed
 //
 // The SM's scheduling loop is event-driven but cycle-exact: candidate

@@ -100,8 +100,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/kernels"
 	"repro/internal/mem"
 	"repro/internal/noc"
@@ -138,10 +140,20 @@ type Device struct {
 	cache *SimCache
 
 	// traceReplay routes suite entries through the record-once /
-	// replay-per-point engine (WithTraceReplay); replayLog receives the
-	// fallback diagnostics.
+	// replay-per-point engine (WithTraceReplay); diag receives every
+	// degradation diagnostic — replay fallbacks and transient retries
+	// alike — serialized by diagMu (see Device.degradef).
 	traceReplay bool
-	replayLog   io.Writer
+	diag        io.Writer
+	diagMu      sync.Mutex
+
+	// faults, launchTimeout and retries are the hardened failure plane:
+	// the armed fault-injection plan (nil in production), the wall-clock
+	// watchdog bound, and the transient-retry budget for suite entries
+	// (guard.go).
+	faults        *faultinject.Plan
+	launchTimeout time.Duration
+	retries       int
 
 	// cfgFP / memsysFP are the precomputed cache-key digests of the SM
 	// configuration and the modeled memory system; funcFP is the
@@ -164,20 +176,23 @@ type Option func(*settings)
 
 // settings is the mutable bag New threads through the options.
 type settings struct {
-	arch        sm.Arch
-	base        *sm.Config // explicit full config (WithConfig) overrides arch
-	modifier    []func(*sm.Config)
-	sms         int
-	workers     int
-	partition   bool
-	autoPart    bool
-	cache       *SimCache
-	l2          *mem.L2Config
-	noc         *noc.Config
-	queue       *RunQueue
-	streamDepth int
-	traceReplay bool
-	replayLog   io.Writer
+	arch          sm.Arch
+	base          *sm.Config // explicit full config (WithConfig) overrides arch
+	modifier      []func(*sm.Config)
+	sms           int
+	workers       int
+	partition     bool
+	autoPart      bool
+	cache         *SimCache
+	l2            *mem.L2Config
+	noc           *noc.Config
+	queue         *RunQueue
+	streamDepth   int
+	traceReplay   bool
+	replayLog     io.Writer
+	faults        *faultinject.Plan
+	launchTimeout time.Duration
+	retries       int
 }
 
 // WithArch selects the modeled micro-architecture (default SBI+SWI) and
@@ -315,6 +330,12 @@ func New(opts ...Option) (*Device, error) {
 	if st.streamDepth < 0 {
 		return nil, fmt.Errorf("device: stream queue depth %d must be non-negative (0 = unbounded)", st.streamDepth)
 	}
+	if st.launchTimeout < 0 {
+		return nil, fmt.Errorf("device: launch timeout %v must be non-negative (0 = no watchdog)", st.launchTimeout)
+	}
+	if st.retries < 0 {
+		return nil, fmt.Errorf("device: retry budget %d must be non-negative (0 = no retry)", st.retries)
+	}
 	if st.workers <= 0 {
 		st.workers = runtime.GOMAXPROCS(0)
 	}
@@ -323,14 +344,17 @@ func New(opts ...Option) (*Device, error) {
 		queue = NewRunQueue(st.workers)
 	}
 	d := &Device{
-		cfg:         cfg,
-		sms:         st.sms,
-		workers:     queue.Workers(),
-		partition:   st.partition,
-		autoPart:    st.autoPart,
-		cache:       st.cache,
-		queue:       queue,
-		streamDepth: st.streamDepth,
+		cfg:           cfg,
+		sms:           st.sms,
+		workers:       queue.Workers(),
+		partition:     st.partition,
+		autoPart:      st.autoPart,
+		cache:         st.cache,
+		queue:         queue,
+		streamDepth:   st.streamDepth,
+		faults:        st.faults,
+		launchTimeout: st.launchTimeout,
+		retries:       st.retries,
 	}
 	if st.l2 != nil || st.noc != nil {
 		d.memsys = true
@@ -350,9 +374,9 @@ func New(opts ...Option) (*Device, error) {
 		}
 	}
 	d.traceReplay = st.traceReplay
-	d.replayLog = st.replayLog
-	if d.replayLog == nil {
-		d.replayLog = os.Stderr
+	d.diag = st.replayLog
+	if d.diag == nil {
+		d.diag = os.Stderr
 	}
 	if d.traceReplay && d.cache == nil {
 		// Trace replay only pays off when traces outlive one entry; give
@@ -428,6 +452,13 @@ func (d *Device) runTraced(ctx context.Context, l *exec.Launch, partition bool, 
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
+	if d.launchTimeout > 0 {
+		// The watchdog bounds this launch end to end: queueing, admission
+		// and simulation (guard.go).
+		var stop func()
+		ctx, stop = watchdogCtx(ctx, d.launchTimeout)
+		defer stop()
+	}
 	wave := sm.ResidentCTAs(d.cfg, l)
 	var waves [][2]int
 	if partition {
@@ -440,7 +471,7 @@ func (d *Device) runTraced(ctx context.Context, l *exec.Launch, partition bool, 
 		// with the classic one-SM path. With the memory system modeled,
 		// the single SM's L1 talks to the L2 through its NoC port
 		// inline — one goroutine, so timing stays deterministic.
-		if err := d.queue.acquire(ctx, cost); err != nil {
+		if err := d.acquireSlot(ctx, cost); err != nil {
 			return nil, err
 		}
 		defer d.queue.release()
@@ -453,7 +484,7 @@ func (d *Device) runTraced(ctx context.Context, l *exec.Launch, partition bool, 
 		}
 		l2 := mem.NewL2(d.l2cfg, d.cfg.Mem)
 		xbar := noc.New(d.noccfg, 1)
-		opts.Lower = &l2Port{xbar: xbar, port: 0, l2: l2, blockBytes: d.cfg.Mem.BlockBytes}
+		opts.Lower = &l2Port{xbar: xbar, port: 0, l2: l2, blockBytes: d.cfg.Mem.BlockBytes, faults: d.faults}
 		res, err := sm.RunRangeOpts(ctx, d.cfg, l, 0, l.GridDim, opts)
 		if err != nil {
 			return nil, err
@@ -490,12 +521,23 @@ func (d *Device) runTraced(ctx context.Context, l *exec.Launch, partition bool, 
 	var wg sync.WaitGroup
 	for i, w := range waves {
 		wg.Add(1)
-		go func(i int, start, end int) {
+		i, start, end := i, w[0], w[1]
+		op := fmt.Sprintf("CTA wave %d of %s", i, l.Prog.Name)
+		go guarded(op, nil, func() {
 			defer wg.Done()
+			// Recover before wg.Done runs (defers are LIFO): a panicking
+			// wave must have failed itself — and cancelled its siblings —
+			// by the time wg.Wait returns.
+			defer func() {
+				if v := recover(); v != nil {
+					runs[i].err = newPanicError(op, v)
+					cancel()
+				}
+			}()
 			// Each wave competes in the run queue at its share of the
 			// launch's admission cost.
 			waveCost := cost * int64(end-start) / int64(l.GridDim)
-			if err := d.queue.acquire(ctx, waveCost); err != nil {
+			if err := d.acquireSlot(ctx, waveCost); err != nil {
 				runs[i].err = err
 				return
 			}
@@ -517,7 +559,7 @@ func (d *Device) runTraced(ctx context.Context, l *exec.Launch, partition bool, 
 				return
 			}
 			runs[i] = waveRun{res: res, global: wl.Global}
-		}(i, w[0], w[1])
+		})()
 	}
 	wg.Wait()
 
@@ -538,6 +580,9 @@ func (d *Device) runTraced(ctx context.Context, l *exec.Launch, partition bool, 
 	}
 
 	if tr == nil {
+		if err := d.fire(faultinject.SiteWaveMerge); err != nil {
+			return nil, err
+		}
 		images := make([][]byte, len(runs))
 		for i := range runs {
 			images[i] = runs[i].global
@@ -628,10 +673,19 @@ func (d *Device) RunSuite(ctx context.Context, suite []*kernels.Benchmark) ([]*S
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var workerPanic atomic.Pointer[PanicError]
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go guarded("suite worker", nil, func() {
 			defer wg.Done()
+			// A panic escaping an entry's safeRun means the claim loop
+			// itself broke; record it before wg.Done (defers are LIFO) so
+			// the post-Wait sweep below sees it.
+			defer func() {
+				if v := recover(); v != nil {
+					workerPanic.CompareAndSwap(nil, newPanicError("suite worker", v))
+				}
+			}()
 			for {
 				n := int(next.Add(1)) - 1
 				if n >= len(order) {
@@ -642,11 +696,24 @@ func (d *Device) RunSuite(ctx context.Context, suite []*kernels.Benchmark) ([]*S
 					r.Err = err
 					continue
 				}
-				r.Result, r.Err = d.runSuiteEntry(ctx, r.Bench, partitioned[order[n]])
+				// safeRun fails only the panicking entry; this worker keeps
+				// claiming the rest of the batch.
+				r.Result, r.Err = safeRun("suite entry "+r.Bench.Name, func() (*sm.Result, error) {
+					return d.runSuiteEntry(ctx, r.Bench, partitioned[order[n]])
+				})
 			}
-		}()
+		})()
 	}
 	wg.Wait()
+	if pe := workerPanic.Load(); pe != nil {
+		// A dead worker abandons its unclaimed entries; a nil/nil entry
+		// would read as a silent success, so fail them explicitly.
+		for _, r := range results {
+			if r.Result == nil && r.Err == nil {
+				r.Err = fmt.Errorf("device: suite entry %s not run: %w", r.Bench.Name, pe)
+			}
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return results, err
 	}
@@ -692,14 +759,39 @@ func (d *Device) partitionPlan(suite []*kernels.Benchmark) []bool {
 // replay enabled the fill itself goes through the record-once /
 // replay-per-point engine (replay.go); the result cache in front of it
 // still keys on the full configuration, so each sweep point simulates
-// (or replays) at most once.
+// (or replays) at most once. The whole attempt — including the cache
+// interaction, so a follower of a transiently failed leader re-runs
+// rather than inheriting — sits under the WithRetry transient-retry
+// policy (guard.go).
 func (d *Device) runSuiteEntry(ctx context.Context, b *kernels.Benchmark, partition bool) (*sm.Result, error) {
+	op := "suite entry " + b.Name
+	return d.retry(ctx, op, func() (*sm.Result, error) {
+		// Convert panics per attempt, inside the retry loop: a panic
+		// carrying a transient fault (the hot memory-access site raises
+		// error-class faults as panics) stays retry-eligible.
+		return safeRun(op, func() (*sm.Result, error) {
+			return d.suiteAttempt(ctx, b, partition)
+		})
+	})
+}
+
+// suiteAttempt is one try of one suite entry: fault sites, cache
+// interaction and the simulation itself.
+func (d *Device) suiteAttempt(ctx context.Context, b *kernels.Benchmark, partition bool) (*sm.Result, error) {
+	if err := d.fire(faultinject.SiteSuiteWorker); err != nil {
+		return nil, err
+	}
 	if d.cache == nil {
 		return d.runBenchmark(ctx, b, partition)
 	}
-	fill := func() (*sm.Result, error) { return d.runBenchmark(ctx, b, partition) }
-	if d.traceReplay {
-		fill = func() (*sm.Result, error) { return d.runBenchmarkTraced(ctx, b, partition) }
+	fill := func() (*sm.Result, error) {
+		if err := d.fire(faultinject.SiteCacheFill); err != nil {
+			return nil, err
+		}
+		if d.traceReplay {
+			return d.runBenchmarkTraced(ctx, b, partition)
+		}
+		return d.runBenchmark(ctx, b, partition)
 	}
 	return d.cache.getOrRun(ctx, d.simKeyFor(b, partition), fill)
 }

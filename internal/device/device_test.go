@@ -10,6 +10,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/isa"
 	"repro/internal/kernels"
+	"repro/internal/leakcheck"
 	"repro/internal/sm"
 )
 
@@ -44,6 +45,7 @@ func TestOptionOrder(t *testing.T) {
 }
 
 func TestRunSuiteReportsOracleMismatch(t *testing.T) {
+	leakcheck.Check(t)
 	good, ok := kernels.ByName("Histogram")
 	if !ok {
 		t.Fatal("Histogram missing")

@@ -1,0 +1,251 @@
+package device
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/sm"
+)
+
+// Panic isolation, the wall-clock watchdog and the transient-retry
+// policy: the hardened failure plane of the device layer.
+//
+// # Panic isolation
+//
+// A panicking kernel, a misuse of the option surface, or a bug in any
+// layer below must fail only the launch (or stream, or suite entry)
+// that triggered it — never the Device, the RunQueue or sibling
+// streams. Every goroutine the device spawns therefore runs a
+// guarded(...) body (enforced statically by the sbwi-lint goguard
+// analyzer), and every spawn site recovers panics inline, converting
+// them into a typed *PanicError before its completion bookkeeping runs:
+// a Pending must be completed before the inflight counter drops, or
+// Synchronize could observe an idle device while a future is still
+// unresolved. guarded itself is the last-resort backstop for a panic
+// escaping a site's own recovery (a bug in the recovery path): it keeps
+// the process alive and reports to stderr.
+//
+// # Watchdog
+//
+// WithLaunchTimeout(d) bounds each launch's host wall-clock time —
+// queueing, admission and simulation. The watchdog cancels the launch's
+// context with a cause wrapping sm.ErrLaunchTimeout; the SM poll loop
+// (and the memsys interleaver via sm.Runner.Diagnose) converts that
+// cause into a *sm.TimeoutError carrying the dumpState partial-state
+// snapshot. Wall-clock state never reaches modeled cycles: the watchdog
+// can only abort a simulation, not change what it computes.
+//
+// # Transient retry
+//
+// WithRetry(n) re-runs a failed suite entry up to n extra times when
+// its failure is transient-class (faultinject.IsTransient — an error
+// chain exposing Transient() bool true, including through a
+// panic-to-error conversion), with exponential backoff between
+// attempts. Only suite entries retry: each attempt builds a fresh
+// launch from the benchmark generator, so a retry can never observe a
+// partially mutated image. Raw Device.Run / stream launches mutate the
+// caller's global image in place and are never retried.
+
+// PanicError is a panic converted to an error at a device goroutine
+// boundary: what was running (including the launch identity when
+// known), the recovered value, and the panicking goroutine's stack.
+type PanicError struct {
+	Op    string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("device: panic in %s: %v", e.Op, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error, so errors.Is/
+// errors.As — and the transient-fault classification behind WithRetry —
+// see through the panic-to-error conversion.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+func newPanicError(op string, v any) *PanicError {
+	return &PanicError{Op: op, Value: v, Stack: debug.Stack()}
+}
+
+// guarded wraps fn as a panic-isolated goroutine body; every device
+// goroutine spawns one:
+//
+//	go guarded(op, catch, fn)()
+//
+// The form is enforced by the sbwi-lint goguard analyzer. If a panic
+// escapes fn it is converted to a *PanicError and handed to catch; with
+// a nil catch it is reported to stderr — the process survives either
+// way. Spawn sites whose recovery must be ordered before their
+// completion bookkeeping (see the file comment) recover inline within
+// fn and use guarded purely as the backstop.
+func guarded(op string, catch func(*PanicError), fn func()) func() {
+	return func() {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			pe := newPanicError(op, v)
+			if catch != nil {
+				catch(pe)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "device: unhandled panic in %s: %v\n%s", op, pe.Value, pe.Stack)
+		}()
+		fn()
+	}
+}
+
+// safeRun invokes fn with panics converted to a *PanicError result, so
+// a panicking suite entry fails only itself while its worker goroutine
+// keeps claiming the rest of the batch.
+func safeRun(op string, fn func() (*sm.Result, error)) (res *sm.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, newPanicError(op, v)
+		}
+	}()
+	return fn()
+}
+
+// WithFaultPlan arms the device with a compiled fault-injection
+// schedule (faultinject.NewPlan(seed, spec)): every instrumented site —
+// queue acquire, stream dispatch, suite worker, wave merge, cache fill,
+// memory access, replay fallback — fires the plan on each pass. Nil
+// (the default) disarms injection entirely; a disarmed site costs one
+// nil check. This is chaos-test infrastructure: the hardening it
+// exercises is always on, the faults are strictly opt-in.
+func WithFaultPlan(p *faultinject.Plan) Option {
+	return func(s *settings) { s.faults = p }
+}
+
+// WithLaunchTimeout bounds each launch's host wall-clock time —
+// queueing, admission and simulation together. A launch exceeding d is
+// aborted with a *sm.TimeoutError (errors.Is(err, sm.ErrLaunchTimeout))
+// carrying a partial-state snapshot of the stuck SM, instead of hanging
+// its Pending and every Synchronize behind it. 0 (the default) means no
+// watchdog. The watchdog never changes what a surviving simulation
+// computes — wall-clock time can only abort a run, not retime it.
+func WithLaunchTimeout(d time.Duration) Option {
+	return func(s *settings) { s.launchTimeout = d }
+}
+
+// WithRetry lets RunSuite/SubmitBenchmark entries re-run after
+// transient-class failures (faultinject.IsTransient) up to n extra
+// attempts, with exponential backoff starting at 1ms between attempts.
+// Each attempt is a fresh launch built from the benchmark's generator,
+// so retries never observe partial state. Non-transient failures —
+// cancellations, oracle mismatches, livelocks, panics that were not
+// themselves transient faults — surface immediately. 0 (the default)
+// disables retry.
+func WithRetry(n int) Option {
+	return func(s *settings) { s.retries = n }
+}
+
+// fire triggers the device's fault plan at site; nil plan, nil error.
+func (d *Device) fire(site faultinject.Site) error {
+	if d.faults == nil {
+		return nil
+	}
+	return d.faults.Fire(site)
+}
+
+// acquireSlot admits one simulation through the device's run queue,
+// with the queue-acquire fault site in front and watchdog-cause mapping
+// behind: a slot wait aborted by the launch watchdog reports the
+// timeout, not a bare cancellation.
+func (d *Device) acquireSlot(ctx context.Context, cost int64) error {
+	if err := d.fire(faultinject.SiteQueueAcquire); err != nil {
+		return err
+	}
+	if err := d.queue.acquire(ctx, cost); err != nil {
+		return watchdogErr(ctx, err)
+	}
+	return nil
+}
+
+// watchdogErr upgrades a bare context error to the context's
+// cancellation cause when that cause is the launch watchdog, so a
+// launch that timed out before reaching an SM (still queued, still
+// waiting on a predecessor) keeps its timeout identity.
+func watchdogErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cause := context.Cause(ctx); cause != nil && errors.Is(cause, sm.ErrLaunchTimeout) {
+		return cause
+	}
+	return err
+}
+
+// watchdogCtx derives a launch's watchdog context: after d of host
+// wall-clock time it cancels the context with a cause wrapping
+// sm.ErrLaunchTimeout, which the SM poll loop (or the memsys
+// interleaver via Runner.Diagnose) converts into a partial-state
+// *sm.TimeoutError. stop releases the timer and must be deferred.
+func watchdogCtx(ctx context.Context, d time.Duration) (context.Context, func()) {
+	ctx, cancel := context.WithCancelCause(ctx)
+	//sbwi:wallclock-ok the watchdog bounds host wall-clock only; it aborts a launch, it never reaches modeled cycles
+	t := time.AfterFunc(d, func() {
+		cancel(fmt.Errorf("device: launch ran longer than the %v watchdog: %w", d, sm.ErrLaunchTimeout))
+	})
+	return ctx, func() {
+		t.Stop()
+		cancel(nil)
+	}
+}
+
+// retryBaseBackoff is the first wait of the transient-retry policy;
+// each further attempt doubles it.
+const retryBaseBackoff = time.Millisecond
+
+// retry applies the WithRetry policy around one suite-entry attempt:
+// re-run fn after a transient-class failure, up to d.retries extra
+// attempts, doubling the backoff each time. Cancellation during the
+// backoff wait surfaces the context error immediately. Every retry is
+// reported to the diagnostics log — degradations are loud.
+func (d *Device) retry(ctx context.Context, what string, fn func() (*sm.Result, error)) (*sm.Result, error) {
+	res, err := fn()
+	if d.retries <= 0 {
+		return res, err
+	}
+	backoff := retryBaseBackoff
+	for attempt := 1; err != nil && attempt <= d.retries && faultinject.IsTransient(err) && ctx.Err() == nil; attempt++ {
+		d.degradef("device: %s: transient failure, retry %d/%d after %v: %v", what, attempt, d.retries, backoff, err)
+		//sbwi:wallclock-ok retry backoff delays the host-side re-execution of a failed attempt; it never reaches modeled cycles
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, watchdogErr(ctx, ctx.Err())
+		}
+		backoff *= 2
+		res, err = fn()
+	}
+	return res, err
+}
+
+// degradef reports a degradation event — work the device completed (or
+// will re-attempt) by falling back or retrying instead of failing — to
+// the diagnostics log (WithReplayLog; default stderr). Degradations are
+// always loud: a silent fallback would be indistinguishable from a
+// clean result produced by the intended path. Concurrent suite workers
+// degrade independently, so writes are serialized here rather than
+// asking every Writer to be concurrency-safe.
+func (d *Device) degradef(format string, args ...any) {
+	d.diagMu.Lock()
+	defer d.diagMu.Unlock()
+	fmt.Fprintf(d.diag, format+"\n", args...)
+}

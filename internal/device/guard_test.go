@@ -1,0 +1,383 @@
+package device
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/faultinject"
+	"repro/internal/kernels"
+	"repro/internal/leakcheck"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sm"
+)
+
+// The hardened failure plane's unit tests: panic conversion, stream
+// isolation, the livelock path through the full stack, the wall-clock
+// watchdog, and the transient-retry policy. The chaos suite
+// (chaos_test.go) exercises the same machinery under randomized
+// multi-site fault storms.
+
+func TestSafeRunConvertsPanic(t *testing.T) {
+	res, err := safeRun("boom op", func() (*sm.Result, error) { panic("kaboom") })
+	if res != nil {
+		t.Fatalf("result %v after panic, want nil", res)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v (%T), want *PanicError", err, err)
+	}
+	if pe.Op != "boom op" || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = {Op:%q Value:%v stack:%d bytes}, want op, value and a stack", pe.Op, pe.Value, len(pe.Stack))
+	}
+}
+
+// TestPanicErrorSeesThroughToErrors pins the unwrap contract the retry
+// policy depends on: a panic whose value is an error stays visible to
+// errors.Is/As — including the transient classification — through the
+// panic-to-error conversion.
+func TestPanicErrorSeesThroughToErrors(t *testing.T) {
+	inner := &faultinject.Error{Site: faultinject.SiteMemAccess, Kind: faultinject.KindError, Hit: 3}
+	_, err := safeRun("mem", func() (*sm.Result, error) { panic(inner) })
+	if !faultinject.IsInjected(err) {
+		t.Errorf("injected fault invisible through PanicError: %v", err)
+	}
+	if !faultinject.IsTransient(err) {
+		t.Errorf("transient fault lost its class through PanicError: %v", err)
+	}
+}
+
+// TestStreamPanicIsolation: a panic injected into one stream launch
+// fails that launch's future (and poisons its FIFO successors) while
+// the device, its queue and fresh streams stay fully usable.
+func TestStreamPanicIsolation(t *testing.T) {
+	leakcheck.Check(t)
+	plan := faultinject.NewPlan(1, faultinject.Spec{
+		{Site: faultinject.SiteStreamDispatch, Kind: faultinject.KindPanic, Hits: []uint64{1}},
+	})
+	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(2), WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	s := dev.NewStream()
+	victim := s.Launch(ctx, counterProgram(t))
+	poisoned := s.Launch(ctx, counterProgram(t))
+
+	var pe *PanicError
+	if _, err := victim.Wait(); !errors.As(err, &pe) {
+		t.Fatalf("faulted launch: err %v, want *PanicError", err)
+	}
+	if !faultinject.IsInjected(pe) {
+		t.Errorf("panic value should carry the injected fault: %v", pe)
+	}
+	if _, err := poisoned.Wait(); err == nil || !strings.Contains(err.Error(), "not run") {
+		t.Errorf("FIFO successor: err %v, want poison", err)
+	} else if !errors.As(err, &pe) {
+		t.Errorf("poison should wrap the originating panic: %v", err)
+	}
+
+	// The device survives: a fresh stream simulates cleanly (hit 1 was
+	// the only scheduled fault) and Synchronize drains to idle.
+	fresh := dev.NewStream().Launch(ctx, counterProgram(t))
+	if _, err := fresh.Wait(); err != nil {
+		t.Errorf("fresh stream after panic: %v", err)
+	}
+	if err := dev.Synchronize(ctx); err != nil {
+		t.Errorf("Synchronize after panic: %v", err)
+	}
+}
+
+// livelockLaunch builds a kernel that can never retire: the cycle
+// bound is the only way out.
+func livelockLaunch(t *testing.T) *exec.Launch {
+	t.Helper()
+	prog := mustProgram(t, "livelock", `
+spin:
+	bra  spin
+	exit
+`)
+	return &exec.Launch{Prog: prog, GridDim: 1, BlockDim: 32}
+}
+
+// TestLivelockFailsOnlyItsLaunch drives the livelock error path
+// through the full device stack: Stream.Launch → Pending.Wait surfaces
+// a typed *sm.LivelockError carrying the partial-state snapshot, the
+// stream poisons its successors, and the device stays usable.
+func TestLivelockFailsOnlyItsLaunch(t *testing.T) {
+	leakcheck.Check(t)
+	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(2),
+		WithModifier(func(c *sm.Config) { c.MaxCycles = 2000 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	s := dev.NewStream()
+	victim := s.Launch(ctx, livelockLaunch(t))
+	poisoned := s.Launch(ctx, counterProgram(t))
+
+	_, err = victim.Wait()
+	var le *sm.LivelockError
+	if !errors.As(err, &le) {
+		t.Fatalf("livelocked launch: err %v (%T), want *sm.LivelockError", err, err)
+	}
+	if le.Limit != 2000 || le.Cycle < le.Limit {
+		t.Errorf("LivelockError limit/cycle = %d/%d, want cycle >= limit 2000", le.Limit, le.Cycle)
+	}
+	if le.State == "" {
+		t.Error("LivelockError carries no partial-state snapshot")
+	}
+	if _, err := poisoned.Wait(); err == nil || !strings.Contains(err.Error(), "not run") {
+		t.Errorf("FIFO successor of livelock: err %v, want poison", err)
+	}
+	if _, err := dev.NewStream().Launch(ctx, counterProgram(t)).Wait(); err != nil {
+		t.Errorf("fresh stream after livelock: %v", err)
+	}
+	if err := dev.Synchronize(ctx); err != nil {
+		t.Errorf("Synchronize after livelock: %v", err)
+	}
+}
+
+// TestLivelockNeverCached: suite entries that die on the cycle bound
+// must not poison the simulation cache — a later pass with a sane
+// configuration (or a follower during the failing pass) re-runs
+// instead of inheriting the failure.
+func TestLivelockNeverCached(t *testing.T) {
+	leakcheck.Check(t)
+	suite := []*kernels.Benchmark{mustBench(t, "Transpose"), mustBench(t, "Histogram")}
+	cache := NewSimCache()
+	ctx := context.Background()
+
+	sick, err := New(WithArch(sm.ArchSBISWI), WithWorkers(2), WithSimCache(cache), WithRetry(2),
+		WithModifier(func(c *sm.Config) { c.MaxCycles = 50 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sick.RunSuite(ctx, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		var le *sm.LivelockError
+		if !errors.As(r.Err, &le) {
+			t.Fatalf("%s under MaxCycles=50: err %v, want *sm.LivelockError", r.Bench.Name, r.Err)
+		}
+		if faultinject.IsTransient(r.Err) {
+			t.Errorf("%s: livelock classified transient; WithRetry would spin on it", r.Bench.Name)
+		}
+	}
+	if n := cache.Len(); n != 0 {
+		t.Fatalf("cache holds %d entries after livelocked pass, want 0", n)
+	}
+
+	// The same cache serves a healthy device: everything simulates
+	// (fresh fills, not inherited failures) and is memoized.
+	well, err := New(WithArch(sm.ArchSBISWI), WithWorkers(2), WithSimCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err = well.RunSuite(ctx, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s on healthy device sharing the cache: %v", r.Bench.Name, r.Err)
+		}
+	}
+	if n := cache.Len(); n != len(suite) {
+		t.Errorf("cache holds %d entries after healthy pass, want %d", n, len(suite))
+	}
+}
+
+// TestWatchdogTimesOutStuckLaunch: a launch exceeding its wall-clock
+// bound completes its Pending with a *sm.TimeoutError carrying the
+// stuck SM's partial state, poisons its FIFO successors, and leaves
+// the device usable.
+func TestWatchdogTimesOutStuckLaunch(t *testing.T) {
+	leakcheck.Check(t)
+	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(2), WithLaunchTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	s := dev.NewStream()
+	victim := s.Launch(ctx, spinLaunch(t))
+	poisoned := s.Launch(ctx, counterProgram(t))
+
+	_, err = victim.Wait()
+	if !errors.Is(err, sm.ErrLaunchTimeout) {
+		t.Fatalf("stuck launch: err %v, want errors.Is(err, sm.ErrLaunchTimeout)", err)
+	}
+	var te *sm.TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("stuck launch: err %v (%T), want *sm.TimeoutError", err, err)
+	}
+	if te.State == "" {
+		t.Error("TimeoutError carries no partial-state snapshot")
+	}
+	if _, err := poisoned.Wait(); err == nil || !strings.Contains(err.Error(), "not run") {
+		t.Errorf("FIFO successor of timeout: err %v, want poison", err)
+	}
+	if _, err := dev.NewStream().Launch(ctx, counterProgram(t)).Wait(); err != nil {
+		t.Errorf("fresh stream after timeout: %v", err)
+	}
+	if err := dev.Synchronize(ctx); err != nil {
+		t.Errorf("Synchronize after timeout: %v", err)
+	}
+}
+
+// TestWatchdogDiagnosesMemsysInterleaver routes the timeout through
+// the shared-clock memsys driver: the abort must be rendered through a
+// live sm.Runner (Runner.Diagnose), so even the partitioned path
+// reports a partial-state snapshot instead of a bare context error.
+func TestWatchdogDiagnosesMemsysInterleaver(t *testing.T) {
+	leakcheck.Check(t)
+	dev, err := New(WithArch(sm.ArchSBISWI), WithSMs(2), WithWorkers(2),
+		WithGridPartition(true), WithL2(mem.DefaultL2()), WithInterconnect(noc.Default()),
+		WithLaunchTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dev.Run(context.Background(), spinLaunch(t))
+	if !errors.Is(err, sm.ErrLaunchTimeout) {
+		t.Fatalf("partitioned memsys launch: err %v, want errors.Is(err, sm.ErrLaunchTimeout)", err)
+	}
+	var te *sm.TimeoutError
+	if !errors.As(err, &te) || te.State == "" {
+		t.Fatalf("partitioned memsys launch: err %v, want *sm.TimeoutError with partial state", err)
+	}
+}
+
+// TestRetryRecoversTransientFault: a transient fault on the first two
+// attempts of a suite entry is retried (loudly) and the entry
+// ultimately succeeds.
+func TestRetryRecoversTransientFault(t *testing.T) {
+	leakcheck.Check(t)
+	plan := faultinject.NewPlan(7, faultinject.Spec{
+		{Site: faultinject.SiteSuiteWorker, Kind: faultinject.KindError, Hits: []uint64{1, 2}},
+	})
+	var diag bytes.Buffer
+	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(2),
+		WithFaultPlan(plan), WithRetry(3), WithReplayLog(&diag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.SubmitBenchmark(context.Background(), mustBench(t, "Transpose")).Wait()
+	if err != nil || res == nil {
+		t.Fatalf("entry behind two transient faults: res %v err %v, want success", res, err)
+	}
+	if got := plan.Injected(faultinject.SiteSuiteWorker); got != 2 {
+		t.Errorf("injected %d suite-worker faults, want 2", got)
+	}
+	if !strings.Contains(diag.String(), "transient failure, retry") {
+		t.Errorf("retries were silent; diagnostics: %q", diag.String())
+	}
+}
+
+// TestRetryBudgetExhaustionSurfaces: a fault that outlives the retry
+// budget surfaces as the injected error, still transient-classified.
+func TestRetryBudgetExhaustionSurfaces(t *testing.T) {
+	leakcheck.Check(t)
+	plan := faultinject.NewPlan(7, faultinject.Spec{
+		{Site: faultinject.SiteSuiteWorker, Kind: faultinject.KindError, Every: 1},
+	})
+	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(2),
+		WithFaultPlan(plan), WithRetry(2), WithReplayLog(&bytes.Buffer{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dev.SubmitBenchmark(context.Background(), mustBench(t, "Transpose")).Wait()
+	if !faultinject.IsInjected(err) || !faultinject.IsTransient(err) {
+		t.Fatalf("exhausted retries: err %v, want the injected transient fault", err)
+	}
+	if got := plan.Injected(faultinject.SiteSuiteWorker); got != 3 {
+		t.Errorf("injected %d faults, want 3 (first attempt + 2 retries)", got)
+	}
+}
+
+// TestRetryRecoversMemAccessPanic: the hot memory-access site raises
+// error-class faults as panics (Access cannot return an error); the
+// panic must convert, classify transient, and retry to success.
+func TestRetryRecoversMemAccessPanic(t *testing.T) {
+	leakcheck.Check(t)
+	plan := faultinject.NewPlan(3, faultinject.Spec{
+		{Site: faultinject.SiteMemAccess, Kind: faultinject.KindError, Hits: []uint64{1}},
+	})
+	var diag bytes.Buffer
+	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(2),
+		WithL2(mem.DefaultL2()), WithInterconnect(noc.Default()),
+		WithFaultPlan(plan), WithRetry(2), WithReplayLog(&diag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.SubmitBenchmark(context.Background(), mustBench(t, "Transpose")).Wait()
+	if err != nil || res == nil {
+		t.Fatalf("entry behind a mem-access fault panic: res %v err %v, want success", res, err)
+	}
+	if !strings.Contains(diag.String(), "transient failure, retry") {
+		t.Errorf("mem-access retry was silent; diagnostics: %q", diag.String())
+	}
+}
+
+// TestReplayFaultFallsBackLoudly: a fault injected into the replay
+// path degrades to full simulation with the fallback logged — never a
+// silent wrong (or missing) number.
+func TestReplayFaultFallsBackLoudly(t *testing.T) {
+	leakcheck.Check(t)
+	plan := faultinject.NewPlan(11, faultinject.Spec{
+		{Site: faultinject.SiteReplayFallback, Kind: faultinject.KindPanic, Every: 1},
+	})
+	var diag bytes.Buffer
+	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(2),
+		WithTraceReplay(true), WithFaultPlan(plan), WithReplayLog(&diag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	suite := []*kernels.Benchmark{mustBench(t, "Transpose")}
+
+	// The suite pass records the trace without replaying (the fault
+	// site sits on the replay path only). RunTraceReplay then records
+	// and replays — every replay attempt panics, so it must fall back
+	// to the recorded full simulation and still produce the result.
+	first, err := dev.RunSuite(ctx, suite)
+	if err != nil || first[0].Err != nil {
+		t.Fatalf("recording pass: %v / %v", err, first[0].Err)
+	}
+	_, err = dev.RunTraceReplay(ctx, mustLaunch(t, "Transpose"))
+	if err != nil {
+		t.Fatalf("RunTraceReplay with a panicking replay path: %v", err)
+	}
+	if !strings.Contains(diag.String(), "fell back") {
+		t.Errorf("replay degradation was silent; diagnostics: %q", diag.String())
+	}
+}
+
+// mustBench fetches a suite benchmark by name.
+func mustBench(t *testing.T, name string) *kernels.Benchmark {
+	t.Helper()
+	b, ok := kernels.ByName(name)
+	if !ok {
+		t.Fatalf("benchmark %s missing", name)
+	}
+	return b
+}
+
+// mustLaunch builds a fresh launch of a suite benchmark.
+func mustLaunch(t *testing.T, name string) *exec.Launch {
+	t.Helper()
+	l, err := mustBench(t, name).NewLaunch(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/replay"
@@ -56,10 +57,19 @@ type l2Port struct {
 	l2         *mem.L2
 	blockBytes int
 	offset     int64
+
+	// faults, when armed, fires the mem-access fault site on every
+	// access. Access cannot return an error, so error-class faults are
+	// raised as panics (faultinject.Plan.MustFire) and recovered at the
+	// owning launch's guard boundary.
+	faults *faultinject.Plan
 }
 
 //sbwi:hotpath
 func (p *l2Port) Access(now int64, store bool, block uint32) int64 {
+	if p.faults != nil {
+		p.faults.MustFire(faultinject.SiteMemAccess)
+	}
 	deliver := p.xbar.Send(p.port, now+p.offset, p.blockBytes)
 	return p.l2.Access(deliver, block, store) - p.offset
 }
@@ -86,7 +96,7 @@ type smSlot struct {
 func (d *Device) runWavesShared(ctx context.Context, l *exec.Launch, waves [][2]int, cost int64, rec *replay.Recorder, tr *replay.Trace) (*sm.Result, error) {
 	// The driver is one goroutine however many SMs it interleaves, so it
 	// occupies a single run-queue slot at the launch's full cost.
-	if err := d.queue.acquire(ctx, cost); err != nil {
+	if err := d.acquireSlot(ctx, cost); err != nil {
 		return nil, err
 	}
 	defer d.queue.release()
@@ -126,7 +136,7 @@ func (d *Device) runWavesShared(ctx context.Context, l *exec.Launch, waves [][2]
 		return nil
 	}
 	for i := range slots {
-		slots[i].port = &l2Port{xbar: xbar, port: i, l2: l2, blockBytes: d.cfg.Mem.BlockBytes}
+		slots[i].port = &l2Port{xbar: xbar, port: i, l2: l2, blockBytes: d.cfg.Mem.BlockBytes, faults: d.faults}
 		if i < len(waves) {
 			if err := start(&slots[i], i); err != nil {
 				return nil, err
@@ -139,7 +149,7 @@ func (d *Device) runWavesShared(ctx context.Context, l *exec.Launch, waves [][2]
 		if steps&1023 == 0 {
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return nil, diagnoseAbort(ctx, slots)
 			default:
 			}
 		}
@@ -177,6 +187,9 @@ func (d *Device) runWavesShared(ctx context.Context, l *exec.Launch, waves [][2]
 	}
 
 	if tr == nil {
+		if err := d.fire(faultinject.SiteWaveMerge); err != nil {
+			return nil, err
+		}
 		images := make([][]byte, len(runs))
 		for i := range runs {
 			images[i] = runs[i].global
@@ -203,4 +216,17 @@ func (d *Device) runWavesShared(ctx context.Context, l *exec.Launch, waves [][2]
 	out.Stats.Mem.L2 = l2.Stats
 	out.Stats.Mem.NoC = xbar.Stats()
 	return out, nil
+}
+
+// diagnoseAbort renders an abort observed by the interleaving driver
+// through the first still-live SM, so a watchdog cancellation carries
+// that SM's partial-state snapshot (sm.Runner.Diagnose) instead of a
+// bare context error.
+func diagnoseAbort(ctx context.Context, slots []smSlot) error {
+	for i := range slots {
+		if slots[i].run != nil {
+			return slots[i].run.Diagnose(ctx)
+		}
+	}
+	return ctx.Err()
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/kernels"
 	"repro/internal/replay"
 	"repro/internal/sm"
@@ -87,14 +88,19 @@ func (d *Device) runBenchmarkTraced(ctx context.Context, b *kernels.Benchmark, p
 		// The reason was logged once when the trace was recorded.
 		return d.runBenchmark(ctx, b, partition)
 	}
-	res, err = d.replayBenchmark(ctx, b, partition, tr)
+	// A panicking replay degrades exactly like a desynced one: safeRun
+	// converts the panic, the uniform fallback below re-runs in full.
+	res, err = safeRun("trace replay of "+b.Name, func() (*sm.Result, error) {
+		return d.replayBenchmark(ctx, b, partition, tr)
+	})
 	if err != nil {
 		if isCtxErr(err) {
 			return nil, err
 		}
 		// A desynced replay means this configuration left the validity
-		// domain at runtime; fall back loudly rather than guess.
-		fmt.Fprintf(d.replayLog, "device: trace replay of %s on %s fell back to full simulation: %v\n", b.Name, d.cfg.Arch, err)
+		// domain at runtime — and an injected fault in the replay path is
+		// made to look the same way; fall back loudly rather than guess.
+		d.degradef("device: trace replay of %s on %s fell back to full simulation: %v", b.Name, d.cfg.Arch, err)
 		return d.runBenchmark(ctx, b, partition)
 	}
 	return res, nil
@@ -119,7 +125,7 @@ func (d *Device) recordBenchmark(ctx context.Context, b *kernels.Benchmark, part
 	recordCost(b, d.cfgFP, res)
 	tr := rec.Finalize()
 	if !tr.Replayable {
-		fmt.Fprintf(d.replayLog, "device: %s on %s is outside the trace-replay validity domain, sweep points run full simulations: %s\n", b.Name, d.cfg.Arch, tr.Reason)
+		d.degradef("device: %s on %s is outside the trace-replay validity domain, sweep points run full simulations: %s", b.Name, d.cfg.Arch, tr.Reason)
 	}
 	return tr, res, nil
 }
@@ -129,6 +135,9 @@ func (d *Device) recordBenchmark(ctx context.Context, b *kernels.Benchmark, part
 // image (the recording run already validated the functional behavior
 // the trace encodes).
 func (d *Device) replayBenchmark(ctx context.Context, b *kernels.Benchmark, partition bool, tr *replay.Trace) (*sm.Result, error) {
+	if err := d.fire(faultinject.SiteReplayFallback); err != nil {
+		return nil, err
+	}
 	l, err := b.NewLaunch(d.cfg.Arch != sm.ArchBaseline)
 	if err != nil {
 		return nil, err
@@ -164,15 +173,20 @@ func (d *Device) RunTraceReplay(ctx context.Context, l *exec.Launch) (*sm.Result
 	}
 	tr := rec.Finalize()
 	if !tr.Replayable {
-		fmt.Fprintf(d.replayLog, "device: %s is outside the trace-replay validity domain, ran a full simulation: %s\n", l.Prog.Name, tr.Reason)
+		d.degradef("device: %s is outside the trace-replay validity domain, ran a full simulation: %s", l.Prog.Name, tr.Reason)
 		return res, nil
 	}
-	rres, err := d.runTraced(ctx, l, d.partition, launchCost(l), nil, tr)
+	rres, err := safeRun("trace replay of "+l.Prog.Name, func() (*sm.Result, error) {
+		if err := d.fire(faultinject.SiteReplayFallback); err != nil {
+			return nil, err
+		}
+		return d.runTraced(ctx, l, d.partition, launchCost(l), nil, tr)
+	})
 	if err != nil {
 		if isCtxErr(err) {
 			return nil, err
 		}
-		fmt.Fprintf(d.replayLog, "device: trace replay of %s fell back to the full simulation's result: %v\n", l.Prog.Name, err)
+		d.degradef("device: trace replay of %s fell back to the full simulation's result: %v", l.Prog.Name, err)
 		return res, nil
 	}
 	if rres.Stats != res.Stats {

@@ -134,9 +134,10 @@ func (c *SimCache) Len() int {
 // getOrRun returns the cached result for key, or runs fill once and
 // caches its result. Concurrent callers with the same key wait for the
 // in-flight fill instead of duplicating it; if the fill fails its
-// error goes to the filling caller and waiters retry (an error is not
-// cached — it may be a cancellation). The returned Result is shared:
-// callers must not mutate it.
+// error goes to the filling caller and waiters retry (a failed or
+// aborted result is never cached — see fill below, which also holds
+// when the filler panics). The returned Result is shared: callers must
+// not mutate it.
 func (c *SimCache) getOrRun(ctx context.Context, key simKey, fill func() (*sm.Result, error)) (*sm.Result, error) {
 	for {
 		c.mu.Lock()
@@ -146,17 +147,7 @@ func (c *SimCache) getOrRun(ctx context.Context, key simKey, fill func() (*sm.Re
 			c.m[key] = e
 			c.misses++
 			c.mu.Unlock()
-
-			res, err := fill()
-			c.mu.Lock()
-			if err != nil {
-				delete(c.m, key) // let a waiter (or the next pass) retry
-			} else {
-				e.res = res
-			}
-			close(e.done)
-			c.mu.Unlock()
-			return res, err
+			return c.fill(key, e, fill)
 		}
 		select {
 		case <-e.done:
@@ -183,6 +174,29 @@ func (c *SimCache) getOrRun(ctx context.Context, key simKey, fill func() (*sm.Re
 	}
 }
 
+// fill runs one cache fill and publishes its outcome exactly once —
+// also when fn panics: the deferred cleanup runs during the unwind,
+// removing the entry and closing done so waiters retry (or become the
+// next filler) instead of hanging on a never-closed channel, while the
+// panic itself keeps propagating to the caller's recover boundary for
+// attribution. Failed or aborted results are never stored.
+func (c *SimCache) fill(key simKey, e *simEntry, fn func() (*sm.Result, error)) (res *sm.Result, err error) {
+	completed := false
+	defer func() {
+		c.mu.Lock()
+		if completed && err == nil {
+			e.res = res
+		} else {
+			delete(c.m, key) // let a waiter (or the next pass) retry
+		}
+		close(e.done)
+		c.mu.Unlock()
+	}()
+	res, err = fn()
+	completed = true
+	return res, err
+}
+
 // traceOrRecord returns the cached execution trace for key, or calls
 // record once to produce it (alongside the recording run's full
 // result, which doubles as that sweep point's result). Concurrent
@@ -201,17 +215,7 @@ func (c *SimCache) traceOrRecord(ctx context.Context, key traceKey, record func(
 			e = &traceEntry{done: make(chan struct{})}
 			c.traces[key] = e
 			c.mu.Unlock()
-
-			tr, res, err := record()
-			c.mu.Lock()
-			if err != nil {
-				delete(c.traces, key) // let a waiter (or the next pass) retry
-			} else {
-				e.tr = tr
-			}
-			close(e.done)
-			c.mu.Unlock()
-			return tr, res, err
+			return c.record(key, e, record)
 		}
 		select {
 		case <-e.done:
@@ -233,6 +237,26 @@ func (c *SimCache) traceOrRecord(ctx context.Context, key traceKey, record func(
 			return nil, nil, ctx.Err()
 		}
 	}
+}
+
+// record is fill's twin for the trace cache: publish exactly once, keep
+// failed recordings out of the cache, and survive a panicking recorder
+// without stranding waiters.
+func (c *SimCache) record(key traceKey, e *traceEntry, fn func() (*replay.Trace, *sm.Result, error)) (tr *replay.Trace, res *sm.Result, err error) {
+	completed := false
+	defer func() {
+		c.mu.Lock()
+		if completed && err == nil {
+			e.tr = tr
+		} else {
+			delete(c.traces, key) // let a waiter (or the next pass) retry
+		}
+		close(e.done)
+		c.mu.Unlock()
+	}()
+	tr, res, err = fn()
+	completed = true
+	return tr, res, err
 }
 
 // The cost registry: measured per-cell simulation costs feed the

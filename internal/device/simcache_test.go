@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/kernels"
+	"repro/internal/leakcheck"
 	"repro/internal/sm"
 )
 
@@ -43,6 +44,7 @@ func mustStats(t *testing.T, results []*SuiteResult) []sm.Stats {
 // is served from the cache — each (benchmark, configuration) simulates
 // exactly once no matter how many passes ask for it.
 func TestSimCacheConcurrentPasses(t *testing.T) {
+	leakcheck.Check(t)
 	suite := cacheSuite(t)
 	cache := NewSimCache()
 	dev, err := New(WithArch(sm.ArchSBISWI), WithSimCache(cache))

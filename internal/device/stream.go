@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/kernels"
 	"repro/internal/sm"
 )
@@ -48,11 +49,23 @@ import (
 // completes exactly once.
 type Pending struct {
 	done chan struct{}
+	once sync.Once
 	res  *sm.Result
 	err  error
 }
 
 func newPending() *Pending { return &Pending{done: make(chan struct{})} }
+
+// complete resolves the future exactly once; later calls are no-ops.
+// The result fields are written before done is closed, so a waiter can
+// never observe a half-written future — the panic-recovery paths rely
+// on this being safe to call from any exit of an operation's goroutine.
+func (p *Pending) complete(res *sm.Result, err error) {
+	p.once.Do(func() {
+		p.res, p.err = res, err
+		close(p.done)
+	})
+}
 
 // Done returns a channel closed when the operation has completed
 // (successfully or not), for use in select loops.
@@ -69,8 +82,7 @@ func (p *Pending) Wait() (*sm.Result, error) {
 
 // failNow completes p immediately with err, before any goroutine runs.
 func (p *Pending) failNow(err error) *Pending {
-	p.err = err
-	close(p.done)
+	p.complete(nil, err)
 	return p
 }
 
@@ -132,8 +144,15 @@ func (s *Stream) Launch(ctx context.Context, l *exec.Launch) *Pending {
 			return p.failNow(ctx.Err())
 		}
 	}
-	s.enqueue(p, func() (*sm.Result, error) {
+	op := "stream launch"
+	if l.Prog != nil {
+		op = "stream launch of " + l.Prog.Name
+	}
+	s.enqueue(p, op, func() (*sm.Result, error) {
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.dev.fire(faultinject.SiteStreamDispatch); err != nil {
 			return nil, err
 		}
 		return s.dev.run(ctx, l, s.dev.partition, launchCost(l))
@@ -147,7 +166,7 @@ func (s *Stream) Launch(ctx context.Context, l *exec.Launch) *Pending {
 // like a failed launch would.
 func (s *Stream) WaitEvent(ev *Event) {
 	dep := ev.dep
-	s.enqueue(newPending(), func() (*sm.Result, error) {
+	s.enqueue(newPending(), "stream event wait", func() (*sm.Result, error) {
 		if dep != nil {
 			<-dep.done
 			if dep.err != nil {
@@ -161,20 +180,31 @@ func (s *Stream) WaitEvent(ev *Event) {
 // enqueue appends an operation to the stream's FIFO chain and starts
 // its goroutine. The goroutine waits for the predecessor, propagates
 // poison, then runs fn; ctx (may be nil) aborts the predecessor wait
-// early. holdsDepth marks operations that took a launch-queue token.
-func (s *Stream) enqueue(p *Pending, fn func() (*sm.Result, error), ctx context.Context, holdsDepth bool) {
+// early. holdsDepth marks operations that took a launch-queue token. A
+// panic anywhere in the operation completes p with a *PanicError —
+// poisoning this stream's FIFO successors exactly like an error — while
+// the device and its other streams stay fully usable.
+func (s *Stream) enqueue(p *Pending, op string, fn func() (*sm.Result, error), ctx context.Context, holdsDepth bool) {
 	s.dev.inflight.add()
 	s.mu.Lock()
 	prev := s.tail
 	s.tail = p
 	s.mu.Unlock()
 
-	go func() {
+	go guarded(op, nil, func() {
+		// Declared first so it runs last (defers are LIFO): the future
+		// must be complete before the inflight count drops, or a
+		// concurrent Synchronize could observe an idle device while p is
+		// still unresolved.
 		defer func() {
-			close(p.done)
 			s.dev.inflight.finish()
 			if holdsDepth {
 				<-s.depth
+			}
+		}()
+		defer func() {
+			if v := recover(); v != nil {
+				p.complete(nil, newPanicError(op, v))
 			}
 		}()
 		if prev != nil {
@@ -182,19 +212,19 @@ func (s *Stream) enqueue(p *Pending, fn func() (*sm.Result, error), ctx context.
 				select {
 				case <-prev.done:
 				case <-ctx.Done():
-					p.err = ctx.Err()
+					p.complete(nil, watchdogErr(ctx, ctx.Err()))
 					return
 				}
 			} else {
 				<-prev.done
 			}
 			if prev.err != nil {
-				p.err = fmt.Errorf("device: stream: not run: earlier stream operation failed: %w", prev.err)
+				p.complete(nil, fmt.Errorf("device: stream: not run: earlier stream operation failed: %w", prev.err))
 				return
 			}
 		}
-		p.res, p.err = fn()
-	}()
+		p.complete(fn())
+	})()
 }
 
 // Record captures the stream's current FIFO position: the returned
@@ -247,22 +277,26 @@ func (d *Device) Synchronize(ctx context.Context) error {
 // figure's prefetch matrix through this, overlapping work across
 // configurations.
 func (d *Device) SubmitBenchmark(ctx context.Context, b *kernels.Benchmark) *Pending {
-	return d.submit(func() (*sm.Result, error) {
+	return d.submit("submitted benchmark "+b.Name, func() (*sm.Result, error) {
 		return d.runSuiteEntry(ctx, b, d.partition)
 	})
 }
 
-// submit runs fn on its own goroutine, tracked for Synchronize.
-func (d *Device) submit(fn func() (*sm.Result, error)) *Pending {
+// submit runs fn on its own goroutine, tracked for Synchronize; a panic
+// fails only this submission's Pending.
+func (d *Device) submit(op string, fn func() (*sm.Result, error)) *Pending {
 	p := newPending()
 	d.inflight.add()
-	go func() {
+	go guarded(op, nil, func() {
+		// Complete before the inflight count drops; see enqueue.
+		defer d.inflight.finish()
 		defer func() {
-			close(p.done)
-			d.inflight.finish()
+			if v := recover(); v != nil {
+				p.complete(nil, newPanicError(op, v))
+			}
 		}()
-		p.res, p.err = fn()
-	}()
+		p.complete(fn())
+	})()
 	return p
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/kernels"
+	"repro/internal/leakcheck"
 	"repro/internal/sm"
 )
 
@@ -37,6 +38,7 @@ func streamSuite(t *testing.T) []*kernels.Benchmark {
 // bit-identical to what sequential synchronous Device.Run produces,
 // and final memory images that still match each benchmark's oracle.
 func TestStreamInterleavingDeterminism(t *testing.T) {
+	leakcheck.Check(t)
 	suite := streamSuite(t)
 	ctx := context.Background()
 
@@ -124,6 +126,7 @@ func counterProgram(t *testing.T) *exec.Launch {
 // reordered execution would race on the slice (caught by -race) and
 // miss increments.
 func TestStreamFIFOOrder(t *testing.T) {
+	leakcheck.Check(t)
 	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
@@ -168,6 +171,7 @@ loop:
 // (the poison wraps the original cancellation so errors.Is still sees
 // it), and other streams on the device are unaffected.
 func TestStreamCancellationMidStream(t *testing.T) {
+	leakcheck.Check(t)
 	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
@@ -239,6 +243,7 @@ func TestStreamCancellationMidStream(t *testing.T) {
 // A's recorded event before reading it — without the edge the two
 // launches would race on the shared image (-race would flag it).
 func TestEventCrossStreamDependency(t *testing.T) {
+	leakcheck.Check(t)
 	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
@@ -281,6 +286,7 @@ func TestEventCrossStreamDependency(t *testing.T) {
 // TestDeviceSynchronize: Synchronize returns only once everything in
 // flight — across streams — has completed, and honors its context.
 func TestDeviceSynchronize(t *testing.T) {
+	leakcheck.Check(t)
 	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
@@ -331,6 +337,7 @@ func TestDeviceSynchronize(t *testing.T) {
 // second Launch blocks until the stream drains; a context expiring
 // during the block yields an already-failed Pending.
 func TestStreamQueueDepthBackpressure(t *testing.T) {
+	leakcheck.Check(t)
 	dev, err := New(WithArch(sm.ArchSBISWI), WithWorkers(1), WithStreamQueueDepth(1))
 	if err != nil {
 		t.Fatal(err)
@@ -367,6 +374,7 @@ func TestStreamQueueDepthBackpressure(t *testing.T) {
 // TestRunQueueGrantOrder pins the admission policy: a freed slot goes
 // to the highest-cost waiter, equal costs FIFO.
 func TestRunQueueGrantOrder(t *testing.T) {
+	leakcheck.Check(t)
 	q := NewRunQueue(1)
 	ctx := context.Background()
 	if err := q.acquire(ctx, 0); err != nil { // occupy the only slot
@@ -406,6 +414,7 @@ func TestRunQueueGrantOrder(t *testing.T) {
 // TestRunQueueCancelledWaiter: a waiter abandoning the queue neither
 // blocks later grants nor leaks its would-be slot.
 func TestRunQueueCancelledWaiter(t *testing.T) {
+	leakcheck.Check(t)
 	q := NewRunQueue(1)
 	if err := q.acquire(context.Background(), 0); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,153 @@
+// Package leakcheck is a dependency-free goroutine-leak checker for
+// the simulator's concurrency tests. Check snapshots the goroutines
+// alive when it is called and, at test cleanup, fails the test if any
+// goroutine created by this module is still alive once the runtime has
+// had a chance to settle.
+//
+// The checker is deliberately narrow: it only counts goroutines whose
+// stacks mention this module's package path, so runtime helpers, the
+// testing framework's own goroutines and other tests running in
+// parallel never trip it. That makes it safe to drop into any test
+// that exercises the device's stream, suite or queue plumbing — the
+// layers whose failure paths (panic isolation, watchdog cancellation,
+// poisoned streams) historically risk stranding a worker.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// modulePrefix identifies this module's functions in stack traces; only
+// goroutines running module code count as potential leaks.
+const modulePrefix = "repro/"
+
+// settleTimeout bounds how long Check waits for goroutines to drain
+// before declaring a leak. Generous on purpose: a slow CI machine
+// finishing legitimate teardown must not read as a leak.
+const settleTimeout = 10 * time.Second
+
+// Check snapshots the module goroutines alive now and registers a
+// cleanup that fails t if new ones are still alive at test end. Call
+// it first in the test, before anything spawns.
+func Check(t *testing.T) {
+	t.Helper()
+	base := snapshot()
+	t.Cleanup(func() {
+		var leaked []string
+		// Exponential backoff: legitimate teardown (a cancelled wave
+		// noticing its context, a stream goroutine finishing its defers)
+		// may lag the test body by a few scheduler quanta.
+		for delay := time.Millisecond; ; delay *= 2 {
+			leaked = leakedSince(base)
+			if len(leaked) == 0 {
+				return
+			}
+			if delay > settleTimeout {
+				break
+			}
+			time.Sleep(delay)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked by this test:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// snapshot returns the identifying headers of the module goroutines
+// currently alive.
+func snapshot() map[string]int {
+	m := make(map[string]int)
+	for _, g := range goroutines() {
+		m[key(g)]++
+	}
+	return m
+}
+
+// leakedSince returns the stacks of module goroutines alive now that
+// were not in the baseline, sorted for stable output.
+func leakedSince(base map[string]int) []string {
+	seen := make(map[string]int, len(base))
+	var leaked []string
+	for _, g := range goroutines() {
+		k := key(g)
+		if seen[k] < base[k] {
+			seen[k]++
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+// key reduces one goroutine's stack to an identity stable across
+// snapshots: its "created by" spawn site (a goroutine's live frames
+// and run state churn as it executes, its birthplace never does). The
+// main goroutine of a test has no created-by line; its whole stack
+// stands in, which is fine because that goroutine is excluded as the
+// caller anyway.
+func key(g string) string {
+	if i := strings.LastIndex(g, "created by "); i >= 0 {
+		return g[i:]
+	}
+	return g
+}
+
+// goroutines returns the stack of every live goroutine — other than
+// the calling one — that is running module code, one string per
+// goroutine.
+func goroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	self := selfID()
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if !strings.HasPrefix(g, "goroutine ") {
+			continue
+		}
+		if goroutineID(g) == self {
+			continue // the snapshotting goroutine is not a leak candidate
+		}
+		if !strings.Contains(g, modulePrefix) {
+			continue // runtime / testing / third-party goroutine
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// selfID returns the calling goroutine's ID, from its own stack header.
+func selfID() string {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	return goroutineID(string(buf))
+}
+
+// goroutineID extracts the numeric ID from a "goroutine N [state]:"
+// stack header.
+func goroutineID(g string) string {
+	g = strings.TrimPrefix(g, "goroutine ")
+	id, _, _ := strings.Cut(g, " ")
+	return id
+}
+
+// Count returns how many module goroutines are alive, for tests that
+// want to assert an absolute baseline rather than a delta.
+func Count() int { return len(goroutines()) }
+
+// String renders the live module goroutines, for diagnostics.
+func String() string {
+	gs := goroutines()
+	return fmt.Sprintf("%d module goroutine(s):\n%s", len(gs), strings.Join(gs, "\n\n"))
+}

@@ -1,0 +1,79 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNoLeakPasses drives the checker through a test that spawns and
+// joins a goroutine: the cleanup must observe a clean state.
+func TestNoLeakPasses(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() {
+		park(time.Millisecond)
+		close(done)
+	}()
+	<-done
+}
+
+// TestSettleToleratesSlowTeardown spawns a goroutine that is still
+// draining when the test body returns; the cleanup's settle loop must
+// wait it out instead of reporting a leak.
+func TestSettleToleratesSlowTeardown(t *testing.T) {
+	Check(t)
+	go park(50 * time.Millisecond)
+}
+
+// TestLeakIsDetected verifies the detector itself: a goroutine parked
+// past the settle window must be reported against a private testing.T
+// stand-in. The leaked goroutine is released afterwards so this test
+// does not poison its siblings.
+func TestLeakIsDetected(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+
+	base := snapshot()
+	go func() { // leaks until release closes
+		<-release
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	var leaked []string
+	for {
+		leaked = leakedSince(base)
+		if len(leaked) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(leaked) != 1 {
+		t.Fatalf("leakedSince reported %d goroutines, want 1:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+	if !strings.Contains(leaked[0], "leakcheck") {
+		t.Fatalf("leaked stack does not identify this package:\n%s", leaked[0])
+	}
+}
+
+// TestBaselineAbsorbsExistingGoroutines checks that module goroutines
+// alive before Check never count as leaks of the checked test.
+func TestBaselineAbsorbsExistingGoroutines(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+
+	base := snapshot()
+	if leaked := leakedSince(base); len(leaked) != 0 {
+		close(release)
+		t.Fatalf("pre-existing goroutine reported as leak:\n%s", strings.Join(leaked, "\n\n"))
+	}
+	close(release)
+}
+
+// park keeps a goroutine identifiably inside module code for d.
+func park(d time.Duration) { time.Sleep(d) }

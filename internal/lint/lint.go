@@ -2,7 +2,7 @@
 // analyzers that enforce, at vet time, the invariants the simulator's
 // runtime test suites only catch late and only on exercised paths.
 //
-// The suite ships four analyzers (see their files for details):
+// The suite ships five analyzers (see their files for details):
 //
 //   - mapiter: no map iteration in determinism-critical packages
 //     without an //sbwi:unordered justification.
@@ -12,6 +12,8 @@
 //     read by that Merge method.
 //   - walltime: no wall-clock or process-global randomness in
 //     simulation-core packages.
+//   - goguard: every goroutine the device package spawns must run
+//     under the guarded panic wrapper.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer / Pass / Diagnostic) but is self-contained: the module has
@@ -85,7 +87,7 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, HotAlloc, MergeFields, WallTime}
+	return []*Analyzer{MapIter, HotAlloc, MergeFields, WallTime, GoGuard}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -185,6 +187,10 @@ const (
 	// DirNoMerge justifies a struct field deliberately not folded by
 	// the struct's Merge method (mergefields suppression).
 	DirNoMerge = "nomerge"
+
+	// DirUnguarded justifies a device-package goroutine that runs
+	// outside the guarded panic wrapper (goguard suppression).
+	DirUnguarded = "unguarded"
 )
 
 const directivePrefix = "//sbwi:"

@@ -27,6 +27,16 @@ func TestWallTime(t *testing.T) {
 	linttest.Run(t, lint.WallTime, "testdata/walltime/core", "example.com/sim/internal/device")
 }
 
+func TestGoGuard(t *testing.T) {
+	linttest.Run(t, lint.GoGuard, "testdata/goguard/device", "example.com/sim/internal/device")
+}
+
+// TestGoGuardNonDevice checks raw go statements are ignored outside
+// the device layer.
+func TestGoGuardNonDevice(t *testing.T) {
+	linttest.Run(t, lint.GoGuard, "testdata/goguard/clean", "example.com/sim/internal/cli")
+}
+
 func TestHotAlloc(t *testing.T) {
 	linttest.Run(t, lint.HotAlloc, "testdata/hotalloc/hot", "example.com/sim/hot")
 }

@@ -1,0 +1,8 @@
+package cli
+
+func work() {}
+
+// spawnRaw is fine here: only the device layer owes the panic guard.
+func spawnRaw() {
+	go work()
+}

@@ -1,0 +1,53 @@
+package device
+
+// guarded mirrors the production panic-guard wrapper: it builds the
+// protected closure the goroutine must actually invoke.
+func guarded(op string, catch func(any), fn func()) func() {
+	return func() {
+		defer func() {
+			if v := recover(); v != nil && catch != nil {
+				catch(v)
+			}
+		}()
+		fn()
+	}
+}
+
+func work() {}
+
+// spawnGuarded is the contract's shape: wrapper built and invoked.
+func spawnGuarded() {
+	go guarded("work", nil, work)()
+}
+
+// spawnGuardedParen still invokes the wrapper, through parentheses.
+func spawnGuardedParen() {
+	go (guarded("work", nil, work))()
+}
+
+func spawnRaw() {
+	go work() // want "must run under the panic guard"
+}
+
+func spawnClosure() {
+	go func() { work() }() // want "must run under the panic guard"
+}
+
+// spawnUninvoked builds the protected closure and discards it: the
+// goroutine runs the constructor, never fn under recover.
+func spawnUninvoked() {
+	go guarded("work", nil, work) // want "spawns the wrapper without invoking it"
+}
+
+// spawnWaived documents why this goroutine may run unguarded.
+func spawnWaived() {
+	//sbwi:unguarded closes over nothing and cannot panic
+	go work()
+}
+
+// spawnBareDirective carries the directive without a justification:
+// the waiver itself is reported as incomplete.
+func spawnBareDirective() {
+	//sbwi:unguarded
+	go work() // want "needs a one-line justification"
+}

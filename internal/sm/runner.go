@@ -1,6 +1,10 @@
 package sm
 
-import "repro/internal/exec"
+import (
+	"context"
+
+	"repro/internal/exec"
+)
 
 // Runner exposes a single SM's simulation as an incrementally steppable
 // process, so the device layer can interleave several SMs against one
@@ -67,3 +71,10 @@ func (r *Runner) Step() (bool, error) {
 // Result finalizes and returns the run statistics. Call once, after
 // Done.
 func (r *Runner) Result() *Result { return r.s.result() }
+
+// Diagnose converts an externally observed context abort into the same
+// typed error a self-running SM produces: the interleaving driver
+// (device memsys) polls the context between Steps, and on abort calls
+// Diagnose so a watchdog cancellation still yields a TimeoutError with
+// this SM's partial-state snapshot instead of a bare context error.
+func (r *Runner) Diagnose(ctx context.Context) error { return r.s.abortErr(ctx) }

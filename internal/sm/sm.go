@@ -319,7 +319,7 @@ func (s *SM) run(ctx context.Context) error {
 		if s.now >= s.nextPoll {
 			select {
 			case <-ctx.Done():
-				return ctx.Err()
+				return s.abortErr(ctx)
 			default:
 			}
 			s.nextPoll = (s.now &^ 1023) + 1024
@@ -379,8 +379,13 @@ func (s *SM) step(maxCycles int64) (bool, error) {
 }
 
 func (s *SM) livelockErr(maxCycles int64) error {
-	return fmt.Errorf("sm: %s on %s: cycle limit %d exceeded at cycle %d (livelock?)\n%s",
-		s.prog.Name, s.cfg.Arch, maxCycles, s.now, s.dumpState())
+	return &LivelockError{
+		Prog:  s.prog.Name,
+		Arch:  s.cfg.Arch,
+		Limit: maxCycles,
+		Cycle: s.now,
+		State: s.dumpState(),
+	}
 }
 
 // result finalizes and packages the run statistics.

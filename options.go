@@ -2,6 +2,7 @@ package sbwi
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/mem"
@@ -117,6 +118,25 @@ func WithTraceReplay(on bool) Option { return device.WithTraceReplay(on) }
 // WithReplayLog directs the trace-replay fallback diagnostics to w
 // (default: os.Stderr). A nil w keeps the default.
 func WithReplayLog(w io.Writer) Option { return device.WithReplayLog(w) }
+
+// WithLaunchTimeout bounds each launch's host wall-clock time —
+// queueing, admission and simulation together. A launch exceeding d
+// completes with a *TimeoutError (errors.Is(err, ErrLaunchTimeout))
+// carrying a partial-state snapshot of the stuck SM, instead of
+// hanging its Pending and every Synchronize behind it. 0 (the
+// default) disables the watchdog. The watchdog never changes what a
+// surviving simulation computes — wall-clock time can only abort a
+// run, never retime it.
+func WithLaunchTimeout(d time.Duration) Option { return device.WithLaunchTimeout(d) }
+
+// WithRetry lets RunSuite/SubmitBenchmark entries re-run after
+// transient-class failures up to n extra attempts, with exponential
+// backoff between attempts. Every attempt builds a fresh launch from
+// the benchmark generator, so a retry never observes partial state;
+// non-transient failures (cancellations, oracle mismatches,
+// livelocks, panics) surface immediately. 0 (the default) disables
+// retry.
+func WithRetry(n int) Option { return device.WithRetry(n) }
 
 // WithL2 models the shared memory system: a banked, MSHR-backed L2
 // between every SM's L1 and global memory, reached over the

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
+	"repro/internal/device"
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/isa"
@@ -38,6 +39,30 @@ type (
 	// ExperimentTable is a rendered experiment (text or CSV).
 	ExperimentTable = experiments.Table
 )
+
+// Failure types: every way a launch can fail carries a typed error, so
+// callers branch with errors.Is/errors.As instead of string-matching.
+type (
+	// PanicError is a panic converted to an error at a device goroutine
+	// boundary: the operation (including the launch identity when
+	// known), the recovered value, and the panicking goroutine's stack.
+	// A panic fails only its owning launch, stream or suite entry — the
+	// device and its other streams stay fully usable.
+	PanicError = device.PanicError
+	// LivelockError reports a simulation that exceeded its cycle bound
+	// (Config.MaxCycles), with a partial-state snapshot of the stuck SM.
+	LivelockError = sm.LivelockError
+	// TimeoutError reports a launch aborted by the WithLaunchTimeout
+	// wall-clock watchdog, with a partial-state snapshot;
+	// errors.Is(err, ErrLaunchTimeout) matches it.
+	TimeoutError = sm.TimeoutError
+)
+
+// ErrLaunchTimeout is the sentinel in every watchdog timeout's chain:
+// errors.Is(err, ErrLaunchTimeout) identifies a launch aborted by
+// WithLaunchTimeout wherever it was caught — still queued, waiting on
+// a stream predecessor, or mid-simulation.
+var ErrLaunchTimeout = sm.ErrLaunchTimeout
 
 // The modeled architectures (figure 7).
 const (
