@@ -1,11 +1,15 @@
 // Command sbwi-lint runs the repository's static-analysis suite
-// (internal/lint): mapiter, hotalloc, mergefields and walltime.
+// (internal/lint): mapiter, hotalloc, mergefields, walltime, goguard
+// and lockcheck.
 //
 // Two modes:
 //
 //   - Standalone: `sbwi-lint [packages]` (default ./...) loads the
 //     packages itself — including _test.go files — and prints every
-//     finding. Exit status 1 if anything was reported.
+//     finding, sorted globally by position so repeated runs diff
+//     cleanly; `-json` switches the output to a machine-readable
+//     array (file/line/column/analyzer/message). Exit status 1 if
+//     anything was reported.
 //
 //   - Vet tool: `go vet -vettool=$(which sbwi-lint) ./...` — the
 //     binary speaks cmd/go's unitchecker protocol (-V=full version
@@ -44,6 +48,7 @@ func main() {
 
 	versionFlag := flag.String("V", "", "print version and exit (go tool protocol; use -V=full)")
 	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	asJSON := flag.Bool("json", false, "standalone mode: print findings as a JSON array")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: sbwi-lint [flags] [package ...]\n   or: go vet -vettool=$(which sbwi-lint) ./...\n\nAnalyzers:\n")
@@ -68,7 +73,7 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(unitcheck(args[0], analyzers))
 	}
-	os.Exit(standalone(args, analyzers))
+	os.Exit(standalone(args, analyzers, *asJSON))
 }
 
 func fatal(err error) {
@@ -110,25 +115,36 @@ func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
 }
 
 // standalone loads patterns with the internal loader and reports
-// findings on stdout.
-func standalone(patterns []string, analyzers []*lint.Analyzer) int {
+// findings on stdout — all packages collected first, then sorted
+// globally by position, so the output is independent of package load
+// order and repeated runs diff cleanly.
+func standalone(patterns []string, analyzers []*lint.Analyzer, asJSON bool) int {
 	pkgs, err := lint.LoadPackages(".", patterns...)
 	if err != nil {
 		fatal(err)
 	}
-	found := 0
+	var diags []lint.Diagnostic
 	seen := make(map[string]bool) // a file can appear in several package variants
 	for _, pkg := range pkgs {
 		for _, d := range lint.RunAnalyzers(pkg, analyzers) {
-			if line := d.String(); !seen[line] {
-				seen[line] = true
-				fmt.Println(line)
-				found++
+			if key := d.String(); !seen[key] {
+				seen[key] = true
+				diags = append(diags, d)
 			}
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "sbwi-lint: %d finding(s)\n", found)
+	lint.SortDiagnostics(diags)
+	if asJSON {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sbwi-lint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0

@@ -251,11 +251,18 @@
 // The invariants above — bit-identical statistics, a zero-allocation
 // issue path, complete Merge aggregation — are additionally enforced
 // at vet time by the repository's own analyzer suite (internal/lint,
-// run as `go run ./cmd/sbwi-lint ./...` or as a `go vet -vettool`).
-// The //sbwi: comment directives appearing in simulation-core sources
-// (hotpath, unordered, alloc-ok, wallclock-ok, nomerge) belong to that
-// suite; each waiver carries its one-line justification inline. See
-// the README's "Static analysis" section for the analyzer catalogue.
+// run as `go run ./cmd/sbwi-lint ./...` or as a `go vet -vettool`;
+// `-json` emits machine-readable findings). The suite includes a
+// flow-sensitive lock-discipline analyzer, lockcheck: struct fields
+// annotated //sbwi:guardedby <mutexField> may only be accessed where
+// a CFG dataflow analysis proves the named mutex held, so the mutex
+// regime of the concurrent device stack is checked at vet time rather
+// than sampled by the -race suites. The //sbwi: comment directives
+// appearing in the sources (hotpath, unordered, alloc-ok,
+// wallclock-ok, nomerge, unguarded, guardedby, nolock) belong to that
+// suite; each waiver carries its one-line justification inline — a
+// bare waiver is itself reported. See the README's "Static analysis"
+// section for the analyzer catalogue and the directive table.
 //
 // # Migrating from the v0 API
 //

@@ -144,7 +144,7 @@ type Device struct {
 	// degradation diagnostic — replay fallbacks and transient retries
 	// alike — serialized by diagMu (see Device.degradef).
 	traceReplay bool
-	diag        io.Writer
+	diag        io.Writer //sbwi:guardedby diagMu
 	diagMu      sync.Mutex
 
 	// faults, launchTimeout and retries are the hardened failure plane:

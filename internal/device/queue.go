@@ -24,19 +24,24 @@ import (
 // pool (the experiments runner does this for all its figures).
 type RunQueue struct {
 	mu      sync.Mutex
-	free    int
-	slots   int
-	waiters waiterHeap
-	seq     uint64
+	free    int        //sbwi:guardedby mu
+	waiters waiterHeap //sbwi:guardedby mu
+	seq     uint64     //sbwi:guardedby mu
+	//sbwi:nolock written only in NewRunQueue, immutable afterwards
+	slots int
 }
 
-// waiter is one goroutine queued for a slot.
+// waiter is one goroutine queued for a slot. granted and gone are
+// mutable shared state, but their mutex lives in the owning RunQueue —
+// a relationship //sbwi:guardedby cannot name across structs.
 type waiter struct {
-	cost    int64
-	seq     uint64
-	grant   chan struct{}
+	cost  int64
+	seq   uint64
+	grant chan struct{}
+	//sbwi:nolock guarded by the owning RunQueue's mu, a foreign struct's mutex
 	granted bool
-	gone    bool // abandoned by cancellation; skipped on pop
+	//sbwi:nolock guarded by the owning RunQueue's mu; popped lazily by releaseLocked
+	gone bool // abandoned by cancellation; skipped on pop
 }
 
 // waiterHeap orders waiters by descending cost, ascending sequence on
@@ -117,9 +122,11 @@ func (q *RunQueue) release() {
 	q.mu.Unlock()
 }
 
+// releaseLocked is the locked helper behind release: every caller
+// holds q.mu (release and the grant/cancel race arm of acquire).
 func (q *RunQueue) releaseLocked() {
-	for q.waiters.Len() > 0 {
-		w := heap.Pop(&q.waiters).(*waiter)
+	for q.waiters.Len() > 0 { //sbwi:nolock caller holds q.mu (locked helper of release/acquire)
+		w := heap.Pop(&q.waiters).(*waiter) //sbwi:nolock caller holds q.mu (locked helper of release/acquire)
 		if w.gone {
 			continue
 		}
@@ -127,7 +134,7 @@ func (q *RunQueue) releaseLocked() {
 		close(w.grant)
 		return
 	}
-	q.free++
+	q.free++ //sbwi:nolock caller holds q.mu (locked helper of release/acquire)
 }
 
 // waiting returns the number of live queued waiters (test hook).

@@ -72,7 +72,7 @@ func (d *Device) simKeyFor(b *kernels.Benchmark, partitioned bool) simKey {
 // number of distinct (benchmark, configuration) cells actually run.
 type SimCache struct {
 	mu sync.Mutex
-	m  map[simKey]*simEntry
+	m  map[simKey]*simEntry //sbwi:guardedby mu
 
 	// traces memoizes recorded per-thread execution traces for the
 	// trace-replay engine (WithTraceReplay). The key is deliberately
@@ -80,14 +80,15 @@ type SimCache struct {
 	// fingerprint — because a trace is valid for every timing
 	// configuration (sm.Config.FunctionalFingerprint documents the
 	// split): one recording serves a whole sweep.
-	traces map[traceKey]*traceEntry
+	traces map[traceKey]*traceEntry //sbwi:guardedby mu
 
-	hits, misses uint64
+	hits, misses uint64 //sbwi:guardedby mu
 }
 
 type simEntry struct {
 	done chan struct{} // closed once the fill attempt finished
-	res  *sm.Result    // nil if the fill failed (entry already removed)
+	//sbwi:nolock guarded by the owning SimCache's mu; reads also gated by the done close
+	res *sm.Result // nil if the fill failed (entry already removed)
 }
 
 // traceKey identifies one recorded trace: the benchmark (deterministic
@@ -100,7 +101,8 @@ type traceKey struct {
 
 type traceEntry struct {
 	done chan struct{} // closed once the recording attempt finished
-	tr   *replay.Trace // nil if the recording failed (entry already removed)
+	//sbwi:nolock guarded by the owning SimCache's mu; reads also gated by the done close
+	tr *replay.Trace // nil if the recording failed (entry already removed)
 }
 
 // NewSimCache returns an empty simulation cache.

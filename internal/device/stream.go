@@ -50,8 +50,10 @@ import (
 type Pending struct {
 	done chan struct{}
 	once sync.Once
-	res  *sm.Result
-	err  error
+	//sbwi:nolock completion-ordered, not mutex-guarded: written once inside once.Do before done closes, read only after <-done
+	res *sm.Result
+	//sbwi:nolock completion-ordered, not mutex-guarded: written once inside once.Do before done closes, read only after <-done
+	err error
 }
 
 func newPending() *Pending { return &Pending{done: make(chan struct{})} }
@@ -98,8 +100,10 @@ type Stream struct {
 	// launches deep.
 	depth chan struct{}
 
-	mu   sync.Mutex
-	tail *Pending // most recently enqueued operation; nil for a fresh stream
+	mu sync.Mutex
+	// tail is the most recently enqueued operation; nil for a fresh
+	// stream.
+	tail *Pending //sbwi:guardedby mu
 }
 
 // NewStream opens a new, independent FIFO stream on the device.
@@ -303,9 +307,10 @@ func (d *Device) submit(op string, fn func() (*sm.Result, error)) *Pending {
 // inflight counts the device's outstanding asynchronous operations and
 // lets Synchronize wait for zero.
 type inflight struct {
-	mu   sync.Mutex
-	n    int
-	idle chan struct{} // created when n leaves 0, closed when it returns
+	mu sync.Mutex
+	n  int //sbwi:guardedby mu
+	// idle is created when n leaves 0 and closed when it returns.
+	idle chan struct{} //sbwi:guardedby mu
 }
 
 func (f *inflight) add() {

@@ -35,16 +35,19 @@ import (
 // safe for concurrent use.
 type Runner struct {
 	mu    sync.Mutex
-	cache map[runKey]*sm.Stats
+	cache map[runKey]*sm.Stats //sbwi:guardedby mu
 
 	// sims is the device-level simulation cache shared by every device
 	// the runner builds, deduplicating cells across figures and passes.
+	// It is created once in NewRunner and immutable afterwards (the
+	// SimCache itself does its own locking).
+	//sbwi:nolock written only in NewRunner, immutable afterwards
 	sims *device.SimCache
 
 	// queue is the run queue shared by every device the runner builds,
 	// so concurrent figures and configurations stay bounded by one
 	// worker pool; created on first use from Workers.
-	queue *device.RunQueue
+	queue *device.RunQueue //sbwi:guardedby mu
 
 	// Workers bounds the host goroutines simulating concurrently;
 	// 0 means GOMAXPROCS. Read when the first simulation is submitted;

@@ -64,8 +64,11 @@ func TestRunnerCachesAndValidates(t *testing.T) {
 	if s1 != s2 {
 		t.Error("second call should hit the cache")
 	}
-	if len(r.cache) != 1 {
-		t.Errorf("cache size = %d", len(r.cache))
+	r.mu.Lock()
+	n := len(r.cache)
+	r.mu.Unlock()
+	if n != 1 {
+		t.Errorf("cache size = %d", n)
 	}
 }
 

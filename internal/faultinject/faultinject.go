@@ -170,16 +170,22 @@ type Plan struct {
 	seed uint64
 
 	mu       sync.Mutex
-	disarmed bool
-	rules    map[Site][]*armedRule
+	disarmed bool                  //sbwi:guardedby mu
+	rules    map[Site][]*armedRule //sbwi:guardedby mu
 }
 
-// armedRule is one rule plus its firing state.
+// armedRule is one rule plus its firing state. The counters are
+// mutable shared state guarded by the owning Plan's mu — a foreign
+// struct's mutex //sbwi:guardedby cannot name — advanced only inside
+// Fire's locked region (matches and next run under that lock).
 type armedRule struct {
 	Rule
-	hits     uint64 // times the site was visited (1-based at match time)
+	//sbwi:nolock guarded by the owning Plan's mu; advanced only under Fire's locked region
+	hits uint64 // times the site was visited (1-based at match time)
+	//sbwi:nolock guarded by the owning Plan's mu; advanced only under Fire's locked region
 	injected uint64 // times this rule injected
-	rng      uint64 // xorshift64 state for Prob triggers
+	//sbwi:nolock guarded by the owning Plan's mu; stepped only by next under Fire's locked region
+	rng uint64 // xorshift64 state for Prob triggers
 }
 
 // NewPlan compiles spec into an armed plan. The seed fixes every

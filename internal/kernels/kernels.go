@@ -45,13 +45,20 @@ type Benchmark struct {
 
 	// mu guards the lazily built caches below: suite entries are shared
 	// package state, and the device's batch runner assembles and
-	// oracle-checks benchmarks from concurrent goroutines.
-	mu       sync.Mutex
-	plain    *isa.Program          // RecPC-annotated, no SYNCs (baseline stack)
-	tf       *isa.Program          // SYNC-instrumented (thread-frontier designs)
-	pristine []byte                // memoized Setup image (do not mutate)
-	params   [isa.NumParams]uint32 // memoized Setup parameters
-	expected []byte                // memoized oracle image (do not mutate)
+	// oracle-checks benchmarks from concurrent goroutines. Each cache
+	// value is immutable once memoized, so a reference obtained under
+	// the lock stays valid after releasing it.
+	mu sync.Mutex
+	// plain is RecPC-annotated, no SYNCs (baseline stack).
+	plain *isa.Program //sbwi:guardedby mu
+	// tf is SYNC-instrumented (thread-frontier designs).
+	tf *isa.Program //sbwi:guardedby mu
+	// pristine is the memoized Setup image (do not mutate).
+	pristine []byte //sbwi:guardedby mu
+	// params are the memoized Setup parameters.
+	params [isa.NumParams]uint32 //sbwi:guardedby mu
+	// expected is the memoized oracle image (do not mutate).
+	expected []byte //sbwi:guardedby mu
 }
 
 // Program returns the assembled kernel: the SYNC-instrumented
@@ -85,9 +92,12 @@ func (b *Benchmark) Program(threadFrontier bool) (*isa.Program, error) {
 // callers must copy before mutating) and kernel parameters. The input
 // generators are deterministic, so Setup runs once per benchmark and
 // the image is memoized; repeated launches across experiment passes
-// copy from the cache instead of regenerating the inputs. Callers must
-// hold b.mu.
+// copy from the cache instead of regenerating the inputs. Safe for
+// concurrent use: the memoization fills under b.mu, and the returned
+// image is immutable once memoized.
 func (b *Benchmark) setup() ([]byte, [isa.NumParams]uint32) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.pristine == nil {
 		b.pristine, b.params = b.Setup(b)
 		if b.pristine == nil {
@@ -103,10 +113,8 @@ func (b *Benchmark) NewLaunch(threadFrontier bool) (*exec.Launch, error) {
 	if err != nil {
 		return nil, err
 	}
-	b.mu.Lock()
 	pristine, params := b.setup()
 	global := append([]byte(nil), pristine...)
-	b.mu.Unlock()
 	return &exec.Launch{
 		Prog:     p,
 		GridDim:  b.Grid,
@@ -121,10 +129,13 @@ func (b *Benchmark) NewLaunch(threadFrontier bool) (*exec.Launch, error) {
 // pristine image) and the result is memoized — callers compare against
 // it and must not mutate it. Safe for concurrent use.
 func (b *Benchmark) Expected() []byte {
+	// Fetch the pristine image through the self-locking setup first;
+	// b.mu is not reentrant, and running the oracle outside the
+	// memoization lock would let two racers both fill b.expected.
+	pristine, params := b.setup()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.expected == nil {
-		pristine, params := b.setup()
 		global := append([]byte(nil), pristine...)
 		b.Reference(b, global, params)
 		b.expected = global

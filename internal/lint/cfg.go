@@ -1,0 +1,460 @@
+package lint
+
+// cfg.go — basic-block control-flow graphs over go/ast function
+// bodies, the reusable substrate for flow-sensitive analyzers
+// (lockcheck today; ctx-propagation and channel-close discipline are
+// natural successors). The builder is purely syntactic: it needs no
+// type information and handles the full statement language —
+// if/else, for, range, switch (expression and type, with
+// fallthrough), select, labeled break/continue, goto, and defer.
+//
+// Conventions a consumer must know:
+//
+//   - Block.Nodes holds statements and control expressions in
+//     execution order. Composite statements are never stored whole;
+//     only their leaf pieces appear (an *ast.IfStmt contributes its
+//     Cond expression, an *ast.SwitchStmt its Tag, and so on), so a
+//     consumer never sees the same sub-statement in two blocks. The
+//     one exception is *ast.RangeStmt: the loop-head block stores the
+//     RangeStmt itself standing for its header only (X evaluated,
+//     Key/Value assigned) — consumers must not descend into its Body,
+//     which is laid out in successor blocks.
+//   - Function literals are opaque expressions: the builder never
+//     enters them. A flow-sensitive analyzer analyzes each *ast.FuncLit
+//     body as its own function with a fresh CFG.
+//   - defer statements appear as ordinary *ast.DeferStmt nodes at
+//     their syntactic position; modeling their function-exit effect is
+//     the analyzer's choice (lockcheck treats a deferred Unlock as "the
+//     lock stays held through every path to return").
+//   - A terminating statement (return, panic(...), goto) ends its
+//     block with no fall-through successor; return links to the
+//     synthetic Exit block. Unreachable code after a terminator lands
+//     in a fresh block with no predecessors, which the fixpoint driver
+//     naturally never visits.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Entry is the block execution starts in.
+	Entry *Block
+	// Exit is the synthetic sink every return (and the fall off the
+	// end of the body) flows to. It holds no nodes.
+	Exit *Block
+	// Blocks lists every block, Entry and Exit included, in creation
+	// order — a deterministic order suitable for reporting passes.
+	Blocks []*Block
+}
+
+// A Block is a maximal straight-line run of statements: control enters
+// at the first node and leaves after the last, to one of Succs.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// NewCFG builds the control-flow graph of a function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: make(map[string]*Block),
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.linkTo(b.cfg.Exit)
+	}
+	for _, g := range b.gotos {
+		if t, ok := b.labels[g.label]; ok {
+			link(g.from, t)
+		}
+	}
+	return b.cfg
+}
+
+// scope is one enclosing breakable/continuable construct.
+type scope struct {
+	label string // the construct's label, "" if unlabeled
+	brk   *Block // break target (the construct's join block)
+	cont  *Block // continue target; nil for switch/select
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil directly after a
+	// terminating statement (the following code is unreachable).
+	cur *Block
+	// label is a pending statement label, consumed by the next
+	// loop/switch/select so labeled break/continue resolve to it.
+	label string
+	// scopes is the stack of enclosing breakable constructs.
+	scopes []scope
+	// fallthroughs stacks each switch clause's fallthrough target
+	// (the next clause's body block; nil in the last clause).
+	fallthroughs []*Block
+	labels       map[string]*Block
+	gotos        []pendingGoto
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// linkTo ends the current block with an edge to target (skipped for a
+// nil target, e.g. a stray break outside any breakable construct in
+// code that would not compile) and marks the following code
+// unreachable.
+func (b *cfgBuilder) linkTo(target *Block) {
+	if b.cur != nil && target != nil {
+		link(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// current materializes the block under construction; after a
+// terminator it starts a fresh predecessor-less (unreachable) block.
+func (b *cfgBuilder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+// startBlock begins a new block reachable from the current one.
+func (b *cfgBuilder) startBlock() *Block {
+	blk := b.newBlock()
+	if b.cur != nil {
+		link(b.cur, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	blk := b.current()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// takeLabel consumes the pending statement label.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *cfgBuilder) pushScope(s scope) { b.scopes = append(b.scopes, s) }
+func (b *cfgBuilder) popScope()         { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+// breakTarget resolves a break statement: the innermost breakable
+// scope, or the one carrying the label.
+func (b *cfgBuilder) breakTarget(label string) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		s := b.scopes[i]
+		if label == "" || s.label == label {
+			return s.brk
+		}
+	}
+	return nil
+}
+
+// continueTarget resolves a continue statement: the innermost loop, or
+// the loop carrying the label.
+func (b *cfgBuilder) continueTarget(label string) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		s := b.scopes[i]
+		if s.cont == nil {
+			continue // switch/select: continue passes through
+		}
+		if label == "" || s.label == label {
+			return s.cont
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		// A label starts its own block so goto has a landing site.
+		target := b.startBlock()
+		b.labels[s.Label.Name] = target
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.linkTo(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			b.linkTo(b.breakTarget(labelName(s)))
+		case token.CONTINUE:
+			b.linkTo(b.continueTarget(labelName(s)))
+		case token.GOTO:
+			from := b.current()
+			b.gotos = append(b.gotos, pendingGoto{from: from, label: labelName(s)})
+			b.cur = nil
+		case token.FALLTHROUGH:
+			var t *Block
+			if n := len(b.fallthroughs); n > 0 {
+				t = b.fallthroughs[n-1]
+			}
+			b.linkTo(t)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.current()
+		b.cur = nil
+		join := b.newBlock()
+
+		thenB := b.newBlock()
+		link(head, thenB)
+		b.cur = thenB
+		b.stmtList(s.Body.List)
+		b.linkTo(join)
+
+		if s.Else != nil {
+			elseB := b.newBlock()
+			link(head, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.linkTo(join)
+		} else {
+			link(head, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		lbl := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.startBlock()
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		join := b.newBlock()
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		body := b.newBlock()
+		link(head, body)
+		if s.Cond != nil {
+			link(head, join)
+		}
+
+		b.pushScope(scope{label: lbl, brk: join, cont: cont})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.linkTo(cont)
+		b.popScope()
+
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.linkTo(head)
+		}
+		b.cur = join
+
+	case *ast.RangeStmt:
+		lbl := b.takeLabel()
+		head := b.startBlock()
+		b.add(s) // header only: X evaluated, Key/Value assigned
+		join := b.newBlock()
+		body := b.newBlock()
+		link(head, body)
+		link(head, join)
+
+		b.pushScope(scope{label: lbl, brk: join, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.linkTo(head)
+		b.popScope()
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		lbl := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(lbl, s.Body.List, true)
+
+	case *ast.TypeSwitchStmt:
+		lbl := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.stmt(s.Assign)
+		b.switchClauses(lbl, s.Body.List, false)
+
+	case *ast.SelectStmt:
+		lbl := b.takeLabel()
+		head := b.current()
+		b.cur = nil
+		join := b.newBlock()
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := b.newBlock()
+			link(head, cb)
+			b.cur = cb
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.pushScope(scope{label: lbl, brk: join})
+			b.stmtList(cc.Body)
+			b.popScope()
+			b.linkTo(join)
+		}
+		// Without a default clause a select blocks until a case is
+		// ready, so join is reachable only through the clauses. (An
+		// empty select blocks forever: join keeps no predecessors.)
+		b.cur = join
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.cur = nil // terminates this path
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, IncDec, Send, Decl, Defer, Go: straight-line.
+		b.add(s)
+	}
+}
+
+// switchClauses lays out the case clauses of a switch or type switch:
+// every clause body is a successor of the current head block, with
+// fallthrough edges between consecutive expression-switch clauses and
+// a head→join edge when no default clause exists.
+func (b *cfgBuilder) switchClauses(lbl string, clauses []ast.Stmt, allowFallthrough bool) {
+	head := b.current()
+	b.cur = nil
+	join := b.newBlock()
+
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		bodies[i] = b.newBlock()
+		if c.(*ast.CaseClause).List == nil {
+			hasDefault = true
+		}
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		link(head, bodies[i])
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		var ft *Block
+		if allowFallthrough && i+1 < len(clauses) {
+			ft = bodies[i+1]
+		}
+		b.fallthroughs = append(b.fallthroughs, ft)
+		b.pushScope(scope{label: lbl, brk: join})
+		b.stmtList(cc.Body)
+		b.popScope()
+		b.fallthroughs = b.fallthroughs[:len(b.fallthroughs)-1]
+		b.linkTo(join)
+	}
+	if !hasDefault {
+		link(head, join)
+	}
+	b.cur = join
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label == nil {
+		return ""
+	}
+	return s.Label.Name
+}
+
+// isPanicCall reports whether e is a direct call of the panic builtin.
+// (A shadowed local named panic is syntactically indistinguishable
+// here; treating it as terminating only prunes edges, which for a
+// must-hold analysis is the conservative direction.)
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// dump renders the graph structure for tests and debugging: one line
+// per non-empty-or-linked block, nodes as bare ast type names.
+func (c *CFG) dump() string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		if len(blk.Nodes) == 0 && len(blk.Succs) == 0 && blk != c.Entry && blk != c.Exit {
+			continue
+		}
+		fmt.Fprintf(&sb, "b%d:", blk.Index)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, " %s", nodeName(n))
+		}
+		if len(blk.Succs) > 0 {
+			succs := make([]int, len(blk.Succs))
+			for i, s := range blk.Succs {
+				succs[i] = s.Index
+			}
+			sort.Ints(succs)
+			sb.WriteString(" ->")
+			for _, i := range succs {
+				fmt.Fprintf(&sb, " b%d", i)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func nodeName(n ast.Node) string {
+	return strings.TrimPrefix(fmt.Sprintf("%T", n), "*ast.")
+}

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildCFG parses body as the body of a parameterless function and
+// builds its CFG. The tests below pin the exact block layout via
+// dump(), so they double as documentation of the builder's
+// conventions (entry=b0, exit=b1, blocks in creation order).
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_input.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return NewCFG(fn.Body)
+}
+
+func checkCFG(t *testing.T, body, want string) {
+	t.Helper()
+	g := buildCFG(t, body)
+	got := strings.TrimSpace(g.dump())
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("CFG mismatch\nbody:\n%s\ngot:\n%s\nwant:\n%s", body, got, want)
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	// goto jumps over the fallthrough path; the branch block after the
+	// goto keeps no fall-through successor of its own.
+	checkCFG(t, `
+	x := 1
+	if x > 0 {
+		goto done
+	}
+	x = 2
+done:
+	x = 3
+`, `
+b0: AssignStmt BinaryExpr -> b2 b3
+b1:
+b2: AssignStmt -> b4
+b3: -> b4
+b4: AssignStmt -> b1
+`)
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	// break outer exits both loops to the outer join (b4); continue
+	// outer targets the outer post block (b5). The inner loop's own
+	// join (b8) is unreachable — no predecessors — exactly as the
+	// fixpoint driver expects for paths only labeled branches leave.
+	checkCFG(t, `
+outer:
+	for i := 0; i < 3; i++ {
+		for {
+			if i == 1 {
+				continue outer
+			}
+			break outer
+		}
+	}
+	println()
+`, `
+b0: -> b2
+b1:
+b2: AssignStmt -> b3
+b3: BinaryExpr -> b4 b6
+b4: ExprStmt -> b1
+b5: IncDecStmt -> b3
+b6: -> b7
+b7: -> b9
+b8: -> b5
+b9: BinaryExpr -> b10 b11
+b10: -> b4
+b11: -> b5
+`)
+}
+
+func TestCFGSelect(t *testing.T) {
+	// A select without a default has no head→join edge: it blocks
+	// until one of the comm clauses is ready.
+	checkCFG(t, `
+	var ch, ch2 chan int
+	select {
+	case v := <-ch:
+		_ = v
+	case ch2 <- 1:
+	}
+	println()
+`, `
+b0: DeclStmt -> b3 b4
+b1:
+b2: ExprStmt -> b1
+b3: AssignStmt AssignStmt -> b2
+b4: SendStmt -> b2
+`)
+}
+
+func TestCFGEmptySelect(t *testing.T) {
+	// select{} blocks forever: the join block keeps no predecessors,
+	// so everything after it (including Exit) is unreachable.
+	checkCFG(t, `
+	println()
+	select {}
+`, `
+b0: ExprStmt
+b1:
+b2: -> b1
+`)
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	// fallthrough links a clause body straight into the next clause's
+	// body block; without a default the head also edges to the join.
+	checkCFG(t, `
+	x := 0
+	switch x {
+	case 0:
+		x = 1
+		fallthrough
+	case 1:
+		x = 2
+	}
+	println(x)
+`, `
+b0: AssignStmt Ident -> b2 b3 b4
+b1:
+b2: ExprStmt -> b1
+b3: BasicLit AssignStmt -> b4
+b4: BasicLit AssignStmt -> b2
+`)
+}
+
+func TestCFGRangeHeader(t *testing.T) {
+	// The loop-head block stores the RangeStmt itself, standing for
+	// the header only; the body is laid out in its own block.
+	checkCFG(t, `
+	var xs []int
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	println(s)
+`, `
+b0: DeclStmt AssignStmt -> b2
+b1:
+b2: RangeStmt -> b3 b4
+b3: ExprStmt -> b1
+b4: AssignStmt -> b2
+`)
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	// panic ends its path; the statement after it lands in a fresh
+	// predecessor-less block the fixpoint driver never visits.
+	checkCFG(t, `
+	panic("boom")
+	println()
+`, `
+b0: ExprStmt
+b1:
+b2: ExprStmt -> b1
+`)
+}
+
+func TestCFGRangeBodyNotDuplicated(t *testing.T) {
+	// Structural guarantee behind the header-only convention: the
+	// range body's statements appear in exactly one block, and never
+	// in the block holding the RangeStmt.
+	g := buildCFG(t, `
+	var xs []int
+	for _, v := range xs {
+		_ = v
+	}
+`)
+	seen := 0
+	for _, blk := range g.Blocks {
+		hasRange := false
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				hasRange = true
+			}
+			if a, ok := n.(*ast.AssignStmt); ok && len(a.Lhs) == 1 {
+				if id, ok := a.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					seen++
+					if hasRange {
+						t.Errorf("range body statement stored in the header block")
+					}
+				}
+			}
+		}
+	}
+	if seen != 1 {
+		t.Errorf("range body statement appears in %d blocks, want 1", seen)
+	}
+}

@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestAnalyzerCorpusCoverage asserts every analyzer registered in
+// lint.All() ships a want-comment corpus under testdata/<name>/ with
+// at least one Go file — a future analyzer cannot land untested.
+func TestAnalyzerCorpusCoverage(t *testing.T) {
+	for _, a := range lint.All() {
+		dir := filepath.Join("testdata", a.Name)
+		goFiles := 0
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".go") {
+				goFiles++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("analyzer %q has no corpus directory %s: %v", a.Name, dir, err)
+			continue
+		}
+		if goFiles == 0 {
+			t.Errorf("analyzer %q corpus %s contains no Go files", a.Name, dir)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package lint
+
+// dataflow.go — a forward dataflow fixpoint driver over the cfg.go
+// graphs. The framework is deliberately small: an analysis supplies a
+// join-semilattice of facts (Join, Equal) and a per-node transfer
+// function, and Fixpoint iterates to the least fixed point with a
+// worklist. Facts are treated as immutable values: Transfer and Join
+// must return fresh (or shared-unchanged) facts, never mutate an
+// argument in place — one fact may be the stored input of several
+// blocks at once.
+//
+// For a must-style analysis (lockcheck: "which locks are provably
+// held here") the join is an intersection, so the fact at every block
+// entry shrinks monotonically from the first value that reaches it —
+// the chain is finite and the iteration terminates.
+
+import "go/ast"
+
+// A ForwardAnalysis defines a forward dataflow problem over one
+// function's CFG with facts of type F.
+type ForwardAnalysis[F any] struct {
+	// Entry is the fact holding at function entry.
+	Entry F
+	// Join combines the facts of two predecessor edges at a merge
+	// point. It must be commutative, associative and idempotent, and
+	// must not mutate its arguments.
+	Join func(a, b F) F
+	// Equal reports whether two facts are the same lattice element;
+	// the iteration stops requeueing a block once its entry fact
+	// stabilizes.
+	Equal func(a, b F) bool
+	// Transfer produces the fact after executing node n given the
+	// fact before it. It must not mutate in.
+	Transfer func(n ast.Node, in F) F
+}
+
+// Fixpoint runs the analysis to its least fixed point and returns the
+// entry fact of every reachable block. Unreachable blocks are absent
+// from the result; a reporting pass iterates cfg.Blocks (a
+// deterministic order) and skips blocks without an entry.
+func Fixpoint[F any](g *CFG, a ForwardAnalysis[F]) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	in[g.Entry] = a.Entry
+
+	queued := make([]bool, len(g.Blocks))
+	work := []*Block{g.Entry}
+	queued[g.Entry.Index] = true
+
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+
+		out := in[blk]
+		for _, n := range blk.Nodes {
+			out = a.Transfer(n, out)
+		}
+		for _, s := range blk.Succs {
+			prev, seen := in[s]
+			next := out
+			if seen {
+				next = a.Join(prev, out)
+			}
+			if seen && a.Equal(prev, next) {
+				continue
+			}
+			in[s] = next
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

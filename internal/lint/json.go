@@ -1,0 +1,64 @@
+package lint
+
+// json.go — the machine-readable interchange form of findings, used
+// by `sbwi-lint -json` so CI and editors can consume the suite's
+// output without scraping the text format.
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+)
+
+// jsonDiagnostic is the wire form of one finding. The byte offset of
+// the position is deliberately absent: it depends on line-ending
+// normalization and is useless to consumers keyed by file:line.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON emits the findings as an indented JSON array in the
+// canonical order (file, line, column, analyzer), so repeated runs
+// and different load orders produce byte-identical output. An empty
+// or nil slice encodes as [].
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	sorted := make([]Diagnostic, len(diags))
+	copy(sorted, diags)
+	SortDiagnostics(sorted)
+	out := make([]jsonDiagnostic, len(sorted))
+	for i, d := range sorted {
+		out[i] = jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON decodes a WriteJSON array back into diagnostics. Only the
+// fields the wire form carries survive the round trip (the position's
+// byte offset comes back zero).
+func ReadJSON(r io.Reader) ([]Diagnostic, error) {
+	var in []jsonDiagnostic
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	out := make([]Diagnostic, len(in))
+	for i, jd := range in {
+		out[i] = Diagnostic{
+			Pos:      token.Position{Filename: jd.File, Line: jd.Line, Column: jd.Column},
+			Analyzer: jd.Analyzer,
+			Message:  jd.Message,
+		}
+	}
+	return out, nil
+}

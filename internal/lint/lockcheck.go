@@ -1,0 +1,688 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheck enforces the mutex discipline the runtime -race chaos
+// suites can only sample: a struct field annotated
+//
+//	//sbwi:guardedby mu
+//
+// (in the field's doc or same-line comment; mu names a sibling
+// sync.Mutex or sync.RWMutex field) may only be read or written at
+// program points where a flow-sensitive forward dataflow analysis over
+// the function's CFG (cfg.go, dataflow.go) proves the named mutex
+// held. The proof is a must-hold analysis: facts meet by intersection
+// at branch joins, so a lock taken on only one arm of an if does not
+// cover the code after the join. Lock/Unlock and RLock/RUnlock calls
+// are the transfer events; a deferred Unlock keeps the lock held
+// through every path to return (defer-scoped critical section); a
+// write while only the read half of an RWMutex is held is a violation
+// in its own right.
+//
+// Pre-publication access is exempt through an escape heuristic: a
+// local built in-function from &T{...}, T{...} or new(T) is
+// considered unpublished for the whole function, so constructors
+// initialize fields without ceremony. (The heuristic deliberately
+// stays "fresh" even after the value escapes into another function —
+// a constructor that spawns goroutines on its half-built value is a
+// bug this analyzer does not chase.) Everything else outside the
+// provable discipline is waived with `//sbwi:nolock <why>` on the
+// access line (a locked-helper whose caller holds the mutex, say), or
+// on the field declaration itself when the field is deliberately
+// outside the mutex regime (channel happens-before publication,
+// single-goroutine confinement, a foreign struct's mutex the
+// annotation language cannot name). Like every sbwi directive, a bare
+// waiver does not suppress — it is itself reported.
+//
+// Known limits, all conservative for this codebase: the lock and the
+// access must name the same base variable through a chain of field
+// selections (aliases made by reassignment are not tracked, and an
+// access whose base the analysis cannot resolve is reported, not
+// assumed safe); function literals are analyzed as their own
+// functions starting lock-free; cross-package access to an annotated
+// field is invisible (all annotated fields here are unexported, so
+// package-local analysis is complete).
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "requires every access to a //sbwi:guardedby field to hold the named mutex, " +
+		"proven by flow-sensitive dataflow (waive with //sbwi:nolock <why>)",
+	Run: runLockCheck,
+}
+
+func runLockCheck(pass *Pass) {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		dirs := directivesOf(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Function literals are analyzed as their own functions
+			// (the enclosing analysis never descends into them); the
+			// continued inspection below reaches nested literals.
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					analyzeLockFunc(pass, dirs, guarded, n.Body)
+				}
+			case *ast.FuncLit:
+				analyzeLockFunc(pass, dirs, guarded, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// guardInfo is one annotated field's contract.
+type guardInfo struct {
+	guard string // sibling mutex field name
+	rw    bool   // the guard is a sync.RWMutex
+}
+
+// collectGuarded builds the package-wide registry of annotated fields
+// and reports malformed annotations (bare directive, unknown or
+// non-mutex guard field).
+func collectGuarded(pass *Pass) map[*types.Var]guardInfo {
+	out := make(map[*types.Var]guardInfo)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			styp, _ := pass.TypeOf(st).(*types.Struct)
+			for _, f := range st.Fields.List {
+				if arg, present := fieldDirective(f, DirNoLock); present && arg == "" {
+					pass.Reportf(f.Pos(),
+						"//sbwi:%s on a field declaration needs a one-line justification for why the field is outside the lock discipline", DirNoLock)
+				}
+				arg, present := fieldDirective(f, DirGuardedBy)
+				if !present {
+					continue
+				}
+				if arg == "" {
+					pass.Reportf(f.Pos(), "//sbwi:%s needs the name of the guarding mutex field", DirGuardedBy)
+					continue
+				}
+				if styp == nil {
+					continue // type error elsewhere; nothing to resolve against
+				}
+				guard := fieldByName(styp, arg)
+				if guard == nil {
+					pass.Reportf(f.Pos(), "//sbwi:%s %s: the struct has no field named %s", DirGuardedBy, arg, arg)
+					continue
+				}
+				rw, isMutex := mutexKind(guard.Type())
+				if !isMutex {
+					pass.Reportf(f.Pos(), "//sbwi:%s %s: field %s is %s, not a sync.Mutex or sync.RWMutex",
+						DirGuardedBy, arg, arg, guard.Type())
+					continue
+				}
+				for _, name := range f.Names {
+					if v, isVar := pass.Info.Defs[name].(*types.Var); isVar {
+						out[v] = guardInfo{guard: arg, rw: rw}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldDirective scans a struct field's doc and same-line comments for
+// the named directive. Fields use their attached comment groups rather
+// than the line-based directive index so an annotation can never bleed
+// onto the next field.
+func fieldDirective(f *ast.Field, name string) (arg string, present bool) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if n, a, ok := parseDirective(c.Text); ok && n == name {
+				return a, true
+			}
+		}
+	}
+	return "", false
+}
+
+func fieldByName(st *types.Struct, name string) *types.Var {
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// mutexKind classifies a guard field's type: sync.Mutex, sync.RWMutex,
+// or a pointer to either.
+func mutexKind(t types.Type) (rw, ok bool) {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// lockID names one trackable mutex: a base variable plus a chain of
+// field selections ("" for the variable itself, ".mu", ".dev.diagMu").
+type lockID struct {
+	root types.Object
+	path string
+}
+
+// lockMode is how strongly a mutex is held; modeRead < modeExcl, and
+// the join keeps the weaker of two modes.
+type lockMode uint8
+
+const (
+	modeRead lockMode = 1 // RLock held (RWMutex read half)
+	modeExcl lockMode = 2 // Lock held (exclusive)
+)
+
+// lockSet is the dataflow fact: the locks provably held, by mode.
+// Values are immutable — transfer copies on write.
+type lockSet map[lockID]lockMode
+
+// joinLocks is the must-hold meet: a lock survives a join only if held
+// on both edges, at the weaker of the two modes.
+func joinLocks(a, b lockSet) lockSet {
+	out := make(lockSet)
+	for id, ma := range a {
+		if mb, held := b[id]; held {
+			m := ma
+			if mb < m {
+				m = mb
+			}
+			out[id] = m
+		}
+	}
+	return out
+}
+
+func equalLocks(a, b lockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id, m := range a {
+		if b[id] != m {
+			return false
+		}
+	}
+	return true
+}
+
+// analyzeLockFunc runs the must-hold fixpoint over one function body,
+// then re-walks every reachable block with reporting enabled.
+func analyzeLockFunc(pass *Pass, dirs *fileDirectives, guarded map[*types.Var]guardInfo, body *ast.BlockStmt) {
+	sc := &lockScanner{
+		pass:    pass,
+		dirs:    dirs,
+		guarded: guarded,
+		fresh:   collectFresh(pass, body),
+	}
+	g := NewCFG(body)
+	in := Fixpoint(g, ForwardAnalysis[lockSet]{
+		Entry:    lockSet{},
+		Join:     joinLocks,
+		Equal:    equalLocks,
+		Transfer: sc.transfer,
+	})
+	sc.report = true
+	for _, blk := range g.Blocks {
+		f, reachable := in[blk]
+		if !reachable {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			f = sc.transfer(n, f)
+		}
+	}
+}
+
+// collectFresh applies the escape heuristic: locals whose every
+// initializing assignment is a freshly allocated value (&T{...},
+// T{...}, new(T)) are pre-publication — no other goroutine can reach
+// them — so guarded-field access through them is exempt. A variable
+// that is ever assigned anything else is tainted and never fresh.
+func collectFresh(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	tainted := make(map[types.Object]bool)
+	mark := func(lhs, rhs ast.Expr, define bool) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		var obj types.Object
+		if define {
+			obj = pass.Info.Defs[id]
+		} else {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if isFreshExpr(pass, rhs) {
+			fresh[obj] = true
+		} else {
+			tainted[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				mark(n.Lhs[i], n.Rhs[i], n.Tok == token.DEFINE)
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 0 {
+				// var c T: a zero value is as unpublished as &T{}.
+				for _, name := range n.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+				return true
+			}
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, name := range n.Names {
+				mark(name, n.Values[i], true)
+			}
+		}
+		return true
+	})
+	for obj := range tainted {
+		delete(fresh, obj)
+	}
+	return fresh
+}
+
+// isFreshExpr reports whether e evaluates to a freshly allocated
+// value no other goroutine can have seen yet.
+func isFreshExpr(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, lit := ast.Unparen(e.X).(*ast.CompositeLit)
+		return lit
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := pass.Info.Uses[id].(*types.Builtin)
+		return ok && b.Name() == "new"
+	}
+	return false
+}
+
+// accessKind distinguishes reads from write-class accesses (stores,
+// ++/--, compound assignment, address-taking).
+type accessKind uint8
+
+const (
+	accRead accessKind = iota
+	accWrite
+)
+
+// lockScanner is the shared transfer/report engine: it threads a
+// lockSet through one node's lock events and, during the report pass,
+// checks every guarded-field access against the fact at that point.
+type lockScanner struct {
+	pass    *Pass
+	dirs    *fileDirectives
+	guarded map[*types.Var]guardInfo
+	fresh   map[types.Object]bool
+
+	fact   lockSet
+	report bool
+}
+
+// transfer is the ForwardAnalysis.Transfer hook.
+func (s *lockScanner) transfer(n ast.Node, in lockSet) lockSet {
+	s.fact = in
+	s.scanNode(n)
+	return s.fact
+}
+
+func (s *lockScanner) hold(id lockID, m lockMode) {
+	nf := make(lockSet, len(s.fact)+1)
+	for k, v := range s.fact {
+		nf[k] = v
+	}
+	nf[id] = m
+	s.fact = nf
+}
+
+func (s *lockScanner) drop(id lockID) {
+	if _, held := s.fact[id]; !held {
+		return
+	}
+	nf := make(lockSet, len(s.fact))
+	for k, v := range s.fact {
+		if k != id {
+			nf[k] = v
+		}
+	}
+	s.fact = nf
+}
+
+// scanNode dispatches one CFG node — a statement or a control
+// expression — into ordered sub-expression scans.
+func (s *lockScanner) scanNode(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		s.scanExpr(n.X, accRead)
+	case *ast.AssignStmt:
+		for _, r := range n.Rhs {
+			s.scanExpr(r, accRead)
+		}
+		for _, l := range n.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				_ = id // a bare identifier LHS defines or rebinds a variable: no guarded access
+				continue
+			}
+			s.scanExpr(l, accWrite)
+		}
+	case *ast.IncDecStmt:
+		s.scanExpr(n.X, accWrite)
+	case *ast.SendStmt:
+		s.scanExpr(n.Chan, accRead)
+		s.scanExpr(n.Value, accRead)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			s.scanExpr(r, accRead)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.scanExpr(v, accRead)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		s.scanDeferred(n.Call)
+	case *ast.GoStmt:
+		// The call operands are evaluated at the go statement; the
+		// body runs on another goroutine and is analyzed separately
+		// (FuncLit) or out of scope.
+		s.scanDeferred(n.Call)
+	case *ast.RangeStmt:
+		// Header only, by the cfg.go convention: X evaluated, Key and
+		// Value assigned. The body lives in successor blocks.
+		s.scanExpr(n.X, accRead)
+		if n.Tok != token.DEFINE {
+			for _, kv := range []ast.Expr{n.Key, n.Value} {
+				if kv == nil {
+					continue
+				}
+				if id, ok := ast.Unparen(kv).(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				if _, ok := ast.Unparen(kv).(*ast.Ident); ok {
+					continue
+				}
+				s.scanExpr(kv, accWrite)
+			}
+		}
+	case ast.Expr:
+		// if/for conditions, switch tags, case expressions.
+		s.scanExpr(n, accRead)
+	}
+}
+
+// scanDeferred handles the call of a defer or go statement: a deferred
+// mutex operation has no effect at its syntactic position (a deferred
+// Unlock means the lock stays held to function exit), while any other
+// deferred call still evaluates its operands here and now.
+func (s *lockScanner) scanDeferred(call *ast.CallExpr) {
+	if _, _, isLock := s.lockOp(call); isLock {
+		return
+	}
+	if _, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); !isLit {
+		s.scanExpr(call.Fun, accRead)
+	}
+	for _, a := range call.Args {
+		s.scanExpr(a, accRead)
+	}
+}
+
+// scanExpr walks one expression in evaluation-ish (lexical) order,
+// applying lock events and checking guarded accesses. kind is the
+// access class the surrounding context imposes on e.
+func (s *lockScanner) scanExpr(e ast.Expr, kind accessKind) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		s.scanExpr(e.X, kind)
+	case *ast.SelectorExpr:
+		s.checkAccess(e, kind)
+		// Writing through a value-typed intermediate field mutates
+		// that field's memory too; a pointer hop resets to a read.
+		baseKind := accRead
+		if kind == accWrite && !isPointerType(s.pass.TypeOf(e.X)) {
+			baseKind = accWrite
+		}
+		s.scanExpr(e.X, baseKind)
+	case *ast.StarExpr:
+		s.scanExpr(e.X, accRead) // deref-write stores through the pointer; the pointer is read
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			s.scanExpr(e.X, accWrite) // address taken: assume the alias may write
+		} else {
+			s.scanExpr(e.X, accRead)
+		}
+	case *ast.IndexExpr:
+		s.scanExpr(e.X, kind)
+		s.scanExpr(e.Index, accRead)
+	case *ast.IndexListExpr:
+		s.scanExpr(e.X, kind)
+		for _, i := range e.Indices {
+			s.scanExpr(i, accRead)
+		}
+	case *ast.SliceExpr:
+		s.scanExpr(e.X, kind)
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				s.scanExpr(idx, accRead)
+			}
+		}
+	case *ast.CallExpr:
+		s.scanCall(e)
+	case *ast.TypeAssertExpr:
+		s.scanExpr(e.X, accRead)
+	case *ast.BinaryExpr:
+		s.scanExpr(e.X, accRead)
+		s.scanExpr(e.Y, accRead)
+	case *ast.KeyValueExpr:
+		s.scanExpr(e.Key, accRead)
+		s.scanExpr(e.Value, accRead)
+	case *ast.CompositeLit:
+		isStruct := false
+		if t := s.pass.TypeOf(e); t != nil {
+			_, isStruct = t.Underlying().(*types.Struct)
+		}
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if !isStruct {
+					s.scanExpr(kv.Key, accRead) // map/array keys are expressions
+				}
+				s.scanExpr(kv.Value, accRead)
+				continue
+			}
+			s.scanExpr(el, accRead)
+		}
+	case *ast.FuncLit:
+		// Analyzed as its own function; see runLockCheck.
+	}
+}
+
+// scanCall applies a mutex operation's transfer effect, or scans an
+// ordinary call's operands.
+func (s *lockScanner) scanCall(call *ast.CallExpr) {
+	if id, op, isLock := s.lockOp(call); isLock {
+		switch op {
+		case "Lock":
+			s.hold(id, modeExcl)
+		case "RLock":
+			s.hold(id, modeRead)
+		case "Unlock", "RUnlock":
+			s.drop(id)
+		}
+		return
+	}
+	s.scanExpr(call.Fun, accRead)
+	for _, a := range call.Args {
+		s.scanExpr(a, accRead)
+	}
+}
+
+// lockOp recognizes a call of sync.Mutex/RWMutex Lock, Unlock, RLock
+// or RUnlock on a trackable receiver chain. A lock operation on an
+// unresolvable receiver is still reported as a lock op (so defer can
+// skip it) but carries a zero id and no transfer effect.
+func (s *lockScanner) lockOp(call *ast.CallExpr) (id lockID, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return lockID{}, "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockID{}, "", false
+	}
+	fn, isFn := s.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockID{}, "", false
+	}
+	root, path, resolved := s.chain(sel.X)
+	if !resolved {
+		return lockID{}, op, true
+	}
+	return lockID{root: root, path: path}, op, true
+}
+
+// chain resolves an expression to (base variable, field-selection
+// path): q → (q, ""), q.mu → (q, ".mu"), s.dev.diagMu →
+// (s, ".dev.diagMu"). Only plain variables and field selections
+// resolve; anything passing through a call, index or conversion does
+// not name a stable location the analysis can match.
+func (s *lockScanner) chain(e ast.Expr) (root types.Object, path string, ok bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := s.pass.Info.Uses[e]
+		if obj == nil {
+			obj = s.pass.Info.Defs[e]
+		}
+		if v, isVar := obj.(*types.Var); isVar {
+			return v, "", true
+		}
+	case *ast.SelectorExpr:
+		if selv := s.pass.Info.Selections[e]; selv == nil || selv.Kind() != types.FieldVal {
+			return nil, "", false
+		}
+		base, p, resolved := s.chain(e.X)
+		if !resolved {
+			return nil, "", false
+		}
+		return base, p + "." + e.Sel.Name, true
+	case *ast.StarExpr:
+		return s.chain(e.X)
+	}
+	return nil, "", false
+}
+
+// checkAccess verifies one selector against the current fact if it
+// selects a guarded field.
+func (s *lockScanner) checkAccess(sel *ast.SelectorExpr, kind accessKind) {
+	selection := s.pass.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, isVar := selection.Obj().(*types.Var)
+	if !isVar {
+		return
+	}
+	gi, isGuarded := s.guarded[field]
+	if !isGuarded {
+		return
+	}
+	root, path, resolved := s.chain(sel.X)
+	if resolved && s.fresh[root] {
+		return // pre-publication: the base cannot be shared yet
+	}
+	var held lockMode
+	lockName := gi.guard
+	if resolved {
+		held = s.fact[lockID{root: root, path: path + "." + gi.guard}]
+		lockName = types.ExprString(sel.X) + "." + gi.guard
+	}
+	expr := types.ExprString(sel)
+	switch {
+	case kind == accWrite && held == modeRead:
+		s.reportAccess(sel.Pos(),
+			"write to %s while %s is only read-locked (RLock); writes need the exclusive Lock", expr, lockName)
+	case held == 0 && !resolved:
+		s.reportAccess(sel.Pos(),
+			"access to %s (//sbwi:%s %s) through a base the analysis cannot resolve; hold %s over a named variable or waive with //sbwi:%s <why>",
+			expr, DirGuardedBy, gi.guard, gi.guard, DirNoLock)
+	case held == 0:
+		verb := "read of"
+		if kind == accWrite {
+			verb = "write to"
+		}
+		s.reportAccess(sel.Pos(),
+			"%s %s without holding %s (//sbwi:%s %s; waive with //sbwi:%s <why>)",
+			verb, expr, lockName, DirGuardedBy, gi.guard, DirNoLock)
+	}
+}
+
+func (s *lockScanner) reportAccess(pos token.Pos, format string, args ...any) {
+	if !s.report {
+		return
+	}
+	if s.pass.suppress(s.dirs, DirNoLock, pos) {
+		return
+	}
+	s.pass.Reportf(pos, format, args...)
+}
+
+func isPointerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}

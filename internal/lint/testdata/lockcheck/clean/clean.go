@@ -1,0 +1,40 @@
+// Package clean is the lockcheck negative control: disciplined use of
+// an annotated field produces no findings, and a struct without
+// annotations is entirely ignored — lockcheck is annotation-driven,
+// not heuristic.
+package clean
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	v  int //sbwi:guardedby mu
+}
+
+func (g *gauge) Add(d int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v += d
+}
+
+func (g *gauge) Get() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// plain has a mutex but no annotations: nothing is enforced.
+type plain struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (p *plain) bump() {
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}
+
+func (p *plain) sneak() {
+	p.n++ // unannotated: lockcheck stays silent
+}

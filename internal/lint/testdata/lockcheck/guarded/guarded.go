@@ -1,0 +1,222 @@
+// Package guarded is the lockcheck corpus: every flavor of
+// //sbwi:guardedby discipline — held and unheld access, the must-hold
+// meet at branch joins, defer-scoped unlocks, RLock-write violations,
+// justified and bare waivers, and the pre-publication escape hatch.
+package guarded
+
+import "sync"
+
+// counter is the canonical guarded struct.
+type counter struct {
+	mu sync.Mutex
+	n  int //sbwi:guardedby mu
+}
+
+// stats exercises the RWMutex read/write split.
+type stats struct {
+	mu   sync.RWMutex
+	hits int //sbwi:guardedby mu
+}
+
+func held(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func unheldRead(c *counter) int {
+	return c.n // want "read of c.n without holding c.mu"
+}
+
+func unheldWrite(c *counter) {
+	c.n = 1 // want "write to c.n without holding c.mu"
+}
+
+func unlockThenAccess(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // want "write to c.n without holding c.mu"
+}
+
+// branchJoin locks on only one arm, so after the join the must-hold
+// meet has dropped the lock.
+func branchJoin(c *counter, b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want "write to c.n without holding c.mu"
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+// bothArms locks on every path into the join: the meet keeps it.
+func bothArms(c *counter, b bool) {
+	if b {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// deferScoped holds the lock through every path to return, including
+// the early one.
+func deferScoped(c *counter, b bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b {
+		c.n++
+		return c.n
+	}
+	return c.n
+}
+
+func rlockRead(s *stats) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hits
+}
+
+func rlockWrite(s *stats) {
+	s.mu.RLock()
+	s.hits++ // want "write to s.hits while s.mu is only read-locked"
+	s.mu.RUnlock()
+}
+
+func exclWrite(s *stats) {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+}
+
+// addLocked is a locked helper: its caller-holds contract is a
+// justified waiver, which suppresses silently.
+func addLocked(c *counter, d int) {
+	c.n += d //sbwi:nolock caller holds c.mu (see held call sites)
+}
+
+// bareWaiver carries the directive with no justification: the waiver
+// itself is reported instead of suppressing.
+func bareWaiver(c *counter) {
+	//sbwi:nolock
+	c.n++ // want "needs a one-line justification"
+}
+
+// newCounter initializes a freshly allocated value: pre-publication,
+// no other goroutine can reach it, so no lock ceremony.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// newStats covers the new(T) and var T spellings of freshness.
+func newStats() *stats {
+	s := new(stats)
+	s.hits = 1
+	var t stats
+	t.hits = s.hits
+	return s
+}
+
+// tainted loses freshness the moment the variable is rebound to a
+// value that may be shared.
+func tainted(shared *counter) {
+	c := &counter{}
+	c = shared
+	c.n++ // want "write to c.n without holding c.mu"
+}
+
+func lookup() *counter { return nil }
+
+// unresolvable accesses the field through a call result: no named
+// base to match a lock against, so the analysis reports it.
+func unresolvable() int {
+	return lookup().n // want "cannot resolve"
+}
+
+// closures are analyzed as their own functions and start lock-free:
+// the enclosing Lock does not cover the deferred body, which may run
+// on another goroutine long after the unlock.
+func closureStartsLockFree(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := func() {
+		c.n++ // want "write to c.n without holding c.mu"
+	}
+	f()
+}
+
+// wrapper reaches a guarded field through a nested field path: the
+// lock and the access must agree on the whole chain.
+type wrapper struct {
+	dev counter
+}
+
+func nested(w *wrapper) {
+	w.dev.mu.Lock()
+	w.dev.n++
+	w.dev.mu.Unlock()
+}
+
+func loopHeld(c *counter, xs []int) {
+	c.mu.Lock()
+	for _, x := range xs {
+		c.n += x
+	}
+	c.mu.Unlock()
+}
+
+// loopReleased releases inside the loop body, so nothing is provably
+// held after the loop (or at its head).
+func loopReleased(c *counter, xs []int) {
+	for range xs {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+	c.n++ // want "write to c.n without holding c.mu"
+}
+
+// badBare: the annotation itself is malformed.
+type badBare struct {
+	mu sync.Mutex
+	//sbwi:guardedby
+	n int // want "needs the name of the guarding mutex field"
+}
+
+// badUnknown names a guard field that does not exist.
+type badUnknown struct {
+	mu sync.Mutex
+	//sbwi:guardedby lock
+	n int // want "no field named lock"
+}
+
+// badNonMutex names a sibling that is not a mutex.
+type badNonMutex struct {
+	mu int
+	//sbwi:guardedby mu
+	n int // want "not a sync.Mutex or sync.RWMutex"
+}
+
+// published documents a field deliberately outside the mutex regime:
+// a justified field-level waiver is documentation, not a finding.
+type published struct {
+	done chan struct{}
+	//sbwi:nolock written once before done closes; readers gate on <-done
+	res int
+}
+
+func (p *published) publish(v int) {
+	p.res = v
+	close(p.done)
+}
+
+// badFieldWaiver is a field-level waiver with no justification.
+type badFieldWaiver struct {
+	//sbwi:nolock
+	res int // want "needs a one-line justification for why the field is outside the lock discipline"
+}

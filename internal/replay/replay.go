@@ -104,12 +104,19 @@ type Recorder struct {
 	gridDim  int
 	blockDim int
 
+	// The per-thread streams are sharded, not mutex-guarded: the outer
+	// slices are sized once by NewRecorder, and concurrent sinks write
+	// disjoint tid entries (each thread belongs to exactly one CTA
+	// wave), so no two goroutines ever touch the same inner slice.
+	//sbwi:nolock sharded per thread: concurrent sinks write disjoint tid entries, never the same inner slice
 	branchBits [][]uint64
-	branchN    []int32
-	addrs      [][]uint32
+	//sbwi:nolock sharded per thread: concurrent sinks write disjoint tid entries, never the same inner slice
+	branchN []int32
+	//sbwi:nolock sharded per thread: concurrent sinks write disjoint tid entries, never the same inner slice
+	addrs [][]uint32
 
 	mu    sync.Mutex
-	sinks []*Sink
+	sinks []*Sink //sbwi:guardedby mu
 }
 
 // NewRecorder sizes a recorder for a launch geometry.
@@ -139,7 +146,8 @@ func (r *Recorder) Sink() *Sink {
 // go straight to the recorder's per-thread slices (disjoint across
 // concurrent sinks), the memory log stays sink-local until Finalize.
 type Sink struct {
-	r   *Recorder
+	r *Recorder
+	//sbwi:nolock single-goroutine confinement: sink-local until Finalize, which runs after every recording goroutine completed
 	log []access
 }
 
